@@ -1,0 +1,91 @@
+"""Ablation — design choices in the shape-signature stage.
+
+Two DESIGN.md §6 choices quantified:
+
+* **signature kind**: centroid-distance (default) vs cumulative-angle;
+* **rotation-invariant matching**: best circular shift vs fixed phase —
+  the paper *requires* rotation invariance; this shows what breaks
+  without it (the contour trace starts at an arbitrary boundary pixel,
+  so fixed-phase matching is at the mercy of the start point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign, RenderSettings, pose_for_sign, render_frame
+from repro.recognition import PreprocessSettings, SaxSignRecognizer, preprocess_frame
+from repro.recognition.pipeline import observation_elevation_deg
+from repro.sax import euclidean_distance, z_normalize
+from repro.vision import SignatureKind
+
+
+def accuracy_with(kind: SignatureKind) -> float:
+    rec = SaxSignRecognizer(
+        preprocess_settings=PreprocessSettings(signature_kind=kind)
+    )
+    rec.enroll_canonical_views()
+    views = [(5.0, 0.0), (5.0, 35.0), (5.0, 65.0), (3.0, 0.0)]
+    total = correct = 0
+    for altitude, azimuth in views:
+        for sign in COMMUNICATIVE_SIGNS:
+            result = rec.recognise_observation(sign, altitude, 3.0, azimuth)
+            total += 1
+            correct += result.sign is sign
+    return correct / total
+
+
+def test_centroid_distance_signature(benchmark):
+    accuracy = benchmark.pedantic(
+        accuracy_with, args=(SignatureKind.CENTROID_DISTANCE,), rounds=1, iterations=1
+    )
+    assert accuracy >= 0.9
+    benchmark.extra_info["accuracy"] = round(accuracy, 3)
+
+
+def test_cumulative_angle_signature(benchmark):
+    accuracy = benchmark.pedantic(
+        accuracy_with, args=(SignatureKind.CUMULATIVE_ANGLE,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["accuracy"] = round(accuracy, 3)
+    # The default must not lose to the alternative on the paper's views.
+    assert accuracy_with(SignatureKind.CENTROID_DISTANCE) >= accuracy - 0.1
+
+
+def test_rotation_invariance_necessary(benchmark, recognizer):
+    """Fixed-phase matching degrades when the contour start point moves
+    — which ANY in-plane rotation or reframing causes."""
+
+    def series_of(azimuth, roll):
+        camera = observation_camera(5.0, 3.0, azimuth)
+        frame = render_frame(
+            pose_for_sign(MarshallingSign.NO), camera, RenderSettings(noise_sigma=0.0)
+        )
+        result = preprocess_frame(
+            frame, elevation_deg=observation_elevation_deg(5.0, 3.0)
+        )
+        assert result.ok
+        return np.roll(result.series, roll)
+
+    def compare():
+        reference = z_normalize(series_of(0.0, roll=0))
+        shifted = z_normalize(series_of(0.0, roll=64))  # quarter-turn start shift
+        fixed_phase = euclidean_distance(reference, shifted) / np.sqrt(len(reference))
+        from repro.sax import best_shift_euclidean
+
+        invariant = best_shift_euclidean(reference, shifted).distance / np.sqrt(
+            len(reference)
+        )
+        return fixed_phase, invariant
+
+    fixed_phase, invariant = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert invariant < 0.05  # same shape: invariant matcher sees it
+    assert fixed_phase > 5 * max(invariant, 1e-6)  # fixed phase does not
+    benchmark.extra_info["fixed_phase_distance"] = round(float(fixed_phase), 3)
+    benchmark.extra_info["invariant_distance"] = round(float(invariant), 4)
+
+
+if __name__ == "__main__":
+    print("Ablation: signature kind")
+    for kind in SignatureKind:
+        print(f"  {kind.value:20s} accuracy {accuracy_with(kind):6.1%}")

@@ -1,0 +1,76 @@
+"""T-AZ (claim R2) — the azimuth envelope and the ~100° dead angle.
+
+Paper Section IV: "At relative azimuth angles greater than 65°, even
+with tuning of the piecewise aggregation and alphabet size, recognition
+appears erratic.  This result implies that there is a dead angle of 100°
+where this sign cannot be recognised."
+
+The bench sweeps relative azimuth for the NO sign and reports the last
+reliable azimuth and the implied dead angle (360 - 4 * theta_max under
+front/back symmetry).  Shape claims: reliable through >= 60°, erratic
+beyond, dead angle within [40°, 140°] (paper: 100°).
+"""
+
+import numpy as np
+import pytest
+
+from repro.human import MarshallingSign
+from repro.recognition import sweep_azimuth
+
+AZIMUTHS = [float(a) for a in range(0, 91, 5)]
+
+
+def test_dead_angle(benchmark, recognizer):
+    envelope = benchmark.pedantic(
+        sweep_azimuth,
+        args=(recognizer, MarshallingSign.NO, AZIMUTHS),
+        kwargs={"altitude_m": 5.0, "distance_m": 3.0},
+        rounds=1,
+        iterations=1,
+    )
+    theta_max = envelope.max_reliable_azimuth()
+    assert theta_max is not None
+    assert theta_max >= 60.0, f"reliable only to {theta_max} deg (paper: 65)"
+
+    dead = envelope.dead_angle_deg()
+    assert 40.0 <= dead <= 140.0, f"dead angle {dead} deg (paper: ~100)"
+
+    # Beyond the envelope the sign is NOT reliably read (erratic).
+    beyond = [p for p in envelope.points if p.parameter > theta_max + 10.0]
+    if beyond:
+        assert not all(p.correct for p in beyond)
+
+    benchmark.extra_info["theta_max_deg"] = theta_max
+    benchmark.extra_info["dead_angle_deg"] = dead
+    benchmark.extra_info["per_azimuth"] = {
+        f"{p.parameter:g}": "OK" if p.correct else "erratic" for p in envelope.points
+    }
+
+
+def test_all_signs_at_paper_azimuths(benchmark, recognizer):
+    """The two azimuths the paper actually photographed: 0° and 65°."""
+
+    def check():
+        results = {}
+        for sign in (MarshallingSign.ATTENTION, MarshallingSign.YES, MarshallingSign.NO):
+            for azimuth in (0.0, 65.0):
+                r = recognizer.recognise_observation(sign, 5.0, 3.0, azimuth)
+                results[(sign.value, azimuth)] = r.sign is sign
+        return results
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(results.values()), f"failures: {[k for k, v in results.items() if not v]}"
+
+
+if __name__ == "__main__":
+    from repro.recognition import SaxSignRecognizer
+
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    envelope = sweep_azimuth(rec, MarshallingSign.NO, AZIMUTHS)
+    print("T-AZ azimuth envelope for NO (alt 5 m, dist 3 m):")
+    for p in envelope.points:
+        verdict = "OK" if p.correct else "erratic"
+        print(f"  az {p.parameter:5.1f} deg: {verdict:8s} d={p.distance:.3f}")
+    print(f"theta_max = {envelope.max_reliable_azimuth()} deg (paper: 65)")
+    print(f"dead angle = {envelope.dead_angle_deg():.0f} deg (paper: ~100)")

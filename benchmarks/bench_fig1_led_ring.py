@@ -1,0 +1,70 @@
+"""FIG1 — the all-round light ring (paper Figure 1).
+
+Regenerates both panels of Figure 1: the danger state (all red) and the
+navigation state (direction-coded red/green/white), as LED glyph strings
+over a full course sweep, and times the ring update path (which must be
+trivially cheap next to the recognition pipeline).
+
+Run ``python benchmarks/bench_fig1_led_ring.py`` for the printed figure.
+"""
+
+import pytest
+
+from repro.signaling import AllRoundLightRing, LightColor, RingMode
+
+
+def course_sweep_table() -> list[tuple[float, str]]:
+    """LED glyphs for a 0-360 deg course sweep (the Figure-1 bottom panel
+    generalised to every direction)."""
+    ring = AllRoundLightRing()
+    rows = []
+    for course in range(0, 360, 30):
+        ring.set_navigation(course_deg=float(course))
+        rows.append((float(course), ring.snapshot().glyphs()))
+    return rows
+
+
+def danger_state() -> str:
+    """The Figure-1 top panel: safety triggered."""
+    ring = AllRoundLightRing()
+    ring.set_navigation(0.0)
+    ring.trigger_safety()
+    return ring.snapshot().glyphs()
+
+
+def test_fig1_navigation_panel(benchmark):
+    rows = benchmark(course_sweep_table)
+    # Shape claims: every course shows all three colours; the pattern
+    # rotates with the course (no two adjacent rows identical).
+    for _, glyphs in rows:
+        assert {"R", "G", "W"} <= set(glyphs)
+    patterns = [glyphs for _, glyphs in rows]
+    assert len(set(patterns)) > 1
+    benchmark.extra_info["course_table"] = {f"{c:.0f}": g for c, g in rows}
+
+
+def test_fig1_danger_panel(benchmark):
+    glyphs = benchmark(danger_state)
+    assert glyphs == "R" * 10
+    benchmark.extra_info["danger"] = glyphs
+
+
+def test_fig1_update_rate(benchmark):
+    """One full ring update (heading + course) — the per-tick cost."""
+    ring = AllRoundLightRing()
+
+    def update():
+        ring.set_heading(37.0)
+        ring.set_navigation(123.0)
+        return ring.snapshot()
+
+    snapshot = benchmark(update)
+    assert snapshot.mode is RingMode.NAVIGATION
+    assert snapshot.count(LightColor.OFF) == 0
+
+
+if __name__ == "__main__":
+    print("FIG1 top    (danger):    ", danger_state())
+    print("FIG1 bottom (navigation), course sweep:")
+    for course, glyphs in course_sweep_table():
+        print(f"  course {course:5.0f} deg  [{glyphs}]")

@@ -1,0 +1,75 @@
+"""FIG2 — the landing flight pattern (paper Figure 2).
+
+Regenerates the figure's three steps as a timeline: (1) the drone
+reduces altitude until landed, (2) rotors still running on the ground,
+(3) rotors off and navigation lights extinguished — and asserts the
+ordering that matters for safety: lights NEVER go out before the rotors
+stop.
+"""
+
+import pytest
+
+from repro.drone import DroneAgent, LandingPattern, TakeOffPattern
+from repro.signaling import RingMode
+from repro.simulation import World
+
+
+def fly_landing() -> list[tuple[float, float, bool, str]]:
+    """Return (time, altitude, rotors_on, ring_mode) samples of a landing."""
+    world = World()
+    drone = DroneAgent("drone")
+    world.add_entity(drone)
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    world.run_until(lambda w: drone.is_idle, timeout_s=30)
+
+    drone.fly_pattern(LandingPattern(), world)
+    timeline = []
+    while not drone.is_idle:
+        world.step()
+        timeline.append(
+            (
+                world.now_s,
+                drone.state.position.z,
+                drone.state.rotors_on,
+                drone.ring.mode.name,
+            )
+        )
+    return timeline
+
+
+def test_fig2_landing_timeline(benchmark):
+    timeline = benchmark.pedantic(fly_landing, rounds=1, iterations=1)
+
+    # Step 1: altitude decreases monotonically (within controller ripple).
+    altitudes = [alt for _, alt, _, _ in timeline]
+    assert altitudes[0] > 4.0
+    assert altitudes[-1] == 0.0
+    increases = sum(1 for a, b in zip(altitudes, altitudes[1:]) if b > a + 0.05)
+    assert increases == 0
+
+    # Step 2: a settle period on the ground with rotors still on.
+    grounded_rotors_on = [
+        t for t, alt, rotors, _ in timeline if alt == 0.0 and rotors
+    ]
+    assert grounded_rotors_on, "no settle phase observed"
+
+    # Step 3: rotors stop, THEN lights extinguish — never the reverse.
+    for _, _, rotors, ring_mode in timeline:
+        if rotors:
+            assert ring_mode != RingMode.OFF.name
+    assert timeline[-1][2] is False
+    assert timeline[-1][3] == RingMode.OFF.name
+
+    benchmark.extra_info["landing_duration_s"] = round(
+        timeline[-1][0] - timeline[0][0], 2
+    )
+
+
+if __name__ == "__main__":
+    timeline = fly_landing()
+    print("FIG2 landing pattern timeline (decimated):")
+    print(f"{'t[s]':>8} {'alt[m]':>8} {'rotors':>7} ring")
+    for t, alt, rotors, mode in timeline[:: max(1, len(timeline) // 25)]:
+        print(f"{t:8.2f} {alt:8.2f} {str(rotors):>7} {mode}")
+    print(f"{timeline[-1][0]:8.2f} {timeline[-1][1]:8.2f} "
+          f"{str(timeline[-1][2]):>7} {timeline[-1][3]}")

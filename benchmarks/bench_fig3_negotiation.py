@@ -1,0 +1,80 @@
+"""FIG3 — the negotiation round (paper Figure 3).
+
+Regenerates the interaction of Figure 3: the drone flies its rectangle
+(occupy-area request) and the human answers YES or NO; both outcomes are
+exercised with deterministic personas and the full pattern sequence is
+checked (poke -> attention -> rectangle -> answer -> acknowledgement).
+"""
+
+import pytest
+
+from repro.drone import DroneAgent, TakeOffPattern
+from repro.geometry import Vec2
+from repro.human import HumanAgent, Persona, TrainingLevel
+from repro.protocol import NegotiationController, NegotiationState
+from repro.simulation import World
+
+
+def deterministic_persona(grants: bool) -> Persona:
+    return Persona(
+        name="deterministic",
+        training=TrainingLevel.TRAINED,
+        notice_probability=1.0,
+        response_probability=1.0,
+        correct_sign_probability=1.0,
+        mean_delay_s=1.0,
+        delay_jitter_s=0.0,
+        max_lean_deg=0.0,
+        grants_space_probability=1.0 if grants else 0.0,
+    )
+
+
+def run_round(grants: bool):
+    world = World()
+    drone = DroneAgent("drone", position=Vec2(-12, 0))
+    world.add_entity(drone)
+    human = HumanAgent(
+        "human", persona=deterministic_persona(grants), position=Vec2(0, 0), seed=1
+    )
+    world.add_entity(human)
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    world.run_until(lambda w: drone.is_idle, timeout_s=30)
+    controller = NegotiationController(drone, human)
+    world.add_entity(controller)
+    controller.start(world)
+    world.run_until(lambda w: controller.finished, timeout_s=300)
+    patterns = [e.detail["pattern"] for e in world.log.of_kind("pattern_done")]
+    signs = [e.detail["sign"] for e in world.log.of_kind("sign_shown")]
+    return controller.outcome, patterns, signs
+
+
+def test_fig3_yes_branch(benchmark):
+    outcome, patterns, signs = benchmark.pedantic(
+        run_round, args=(True,), rounds=1, iterations=1
+    )
+    assert outcome.state is NegotiationState.CONCLUDED
+    assert outcome.space_granted is True
+    assert patterns.index("poke") < patterns.index("rectangle") < patterns.index("nod")
+    assert "attention" in signs and "yes" in signs
+    benchmark.extra_info["duration_s"] = round(outcome.duration_s, 1)
+    benchmark.extra_info["patterns"] = patterns
+
+
+def test_fig3_no_branch(benchmark):
+    outcome, patterns, signs = benchmark.pedantic(
+        run_round, args=(False,), rounds=1, iterations=1
+    )
+    assert outcome.state is NegotiationState.CONCLUDED
+    assert outcome.space_granted is False
+    assert "turn" in patterns  # the drone's embodied "understood: no"
+    assert "no" in signs
+    benchmark.extra_info["duration_s"] = round(outcome.duration_s, 1)
+
+
+if __name__ == "__main__":
+    for grants, label in ((True, "YES"), (False, "NO")):
+        outcome, patterns, signs = run_round(grants)
+        print(f"FIG3 {label} branch: state={outcome.state.value} "
+              f"granted={outcome.space_granted} duration={outcome.duration_s:.1f}s")
+        print(f"  drone patterns: {' -> '.join(patterns)}")
+        print(f"  human signs:    {' -> '.join(signs)}")

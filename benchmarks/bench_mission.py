@@ -1,0 +1,71 @@
+"""T-MISSION — the end-to-end orchard mission.
+
+The paper's use case in one number row: traps visited, negotiations
+needed, mission time, safety events.  Shape claims: the mission
+completes, most traps are read, negotiated access resolves the human
+blockers, and no safety violations occur in nominal conditions.
+"""
+
+import pytest
+
+from repro import CollaborativeEnvironment
+from repro.mission import OrchardConfig
+
+
+def run_mission(seed: int):
+    env = CollaborativeEnvironment.build_orchard(
+        config=OrchardConfig(seed=seed, wind_mean_mps=1.0)
+    )
+    report = env.run_mission()
+    return env, report
+
+
+def test_full_mission(benchmark):
+    env, report = benchmark.pedantic(run_mission, args=(1,), rounds=1, iterations=1)
+    total_traps = len(env.orchard.traps)
+    assert report.traps_read >= total_traps * 0.6
+    assert report.traps_read + len(report.skipped_traps) <= total_traps
+    assert report.safety_events == 0
+    assert report.negotiations >= 1  # seed 1 places blockers
+    benchmark.extra_info.update(
+        {
+            "traps_total": total_traps,
+            "traps_read": report.traps_read,
+            "skipped": len(report.skipped_traps),
+            "negotiations": report.negotiations,
+            "granted": report.negotiations_granted,
+            "denied": report.negotiations_denied,
+            "failed": report.negotiations_failed,
+            "duration_s": round(report.duration_s, 1),
+            "spray_recommendations": report.spray_recommendations,
+        }
+    )
+
+
+def test_mission_under_wind(benchmark):
+    """The same mission with a stiffer breeze still completes safely."""
+
+    def windy():
+        env = CollaborativeEnvironment.build_orchard(
+            config=OrchardConfig(seed=2, wind_mean_mps=3.0)
+        )
+        return env, env.run_mission()
+
+    env, report = benchmark.pedantic(windy, rounds=1, iterations=1)
+    assert report.traps_read >= 1
+    benchmark.extra_info["duration_s"] = round(report.duration_s, 1)
+
+
+if __name__ == "__main__":
+    for seed in (1, 2, 3):
+        env, report = run_mission(seed)
+        print(
+            f"T-MISSION seed {seed}: read {report.traps_read}/"
+            f"{len(env.orchard.traps)} traps, "
+            f"negotiations {report.negotiations} "
+            f"(granted {report.negotiations_granted}, denied "
+            f"{report.negotiations_denied}, failed {report.negotiations_failed}), "
+            f"duration {report.duration_s:.0f} s, "
+            f"safety events {report.safety_events}, "
+            f"spray recs {report.spray_recommendations}"
+        )

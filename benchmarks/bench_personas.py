@@ -1,0 +1,94 @@
+"""T-PROTO — negotiation outcomes by persona.
+
+The user-story claim behind Section II: communication must work with
+trained, partially trained and untrained collaborators — with gracefully
+degrading, *safe* behaviour down the training axis.  This bench runs
+repeated negotiation rounds per persona and reports success rate,
+retries and duration.  Shape claims: supervisor >= worker >= visitor on
+success rate; failures are timeouts (safe), never misunderstandings of
+an answered request.
+"""
+
+import pytest
+
+from repro.drone import DroneAgent, TakeOffPattern
+from repro.geometry import Vec2
+from repro.human import SUPERVISOR, VISITOR, WORKER, HumanAgent
+from repro.protocol import NegotiationConfig, NegotiationController
+from repro.simulation import World
+
+ROUNDS_PER_PERSONA = 8
+
+
+def run_rounds(persona, rounds=ROUNDS_PER_PERSONA):
+    outcomes = []
+    for seed in range(rounds):
+        world = World()
+        drone = DroneAgent("drone", position=Vec2(-12, 0))
+        world.add_entity(drone)
+        human = HumanAgent("human", persona=persona, position=Vec2(0, 0), seed=seed)
+        world.add_entity(human)
+        drone.fly_pattern(TakeOffPattern(5.0), world)
+        world.run_until(lambda w: drone.is_idle, timeout_s=30)
+        controller = NegotiationController(
+            drone,
+            human,
+            config=NegotiationConfig(attention_timeout_s=8.0, answer_timeout_s=8.0),
+        )
+        world.add_entity(controller)
+        controller.start(world)
+        world.run_until(lambda w: controller.finished, timeout_s=300)
+        outcomes.append(controller.outcome)
+    return outcomes
+
+
+def summarise(outcomes):
+    succeeded = [o for o in outcomes if o.succeeded]
+    return {
+        "success_rate": len(succeeded) / len(outcomes),
+        "mean_duration_s": (
+            sum(o.duration_s for o in succeeded) / len(succeeded) if succeeded else None
+        ),
+        "mean_pokes": sum(o.poke_attempts for o in outcomes) / len(outcomes),
+    }
+
+
+@pytest.mark.parametrize(
+    "persona", [SUPERVISOR, WORKER, VISITOR], ids=["supervisor", "worker", "visitor"]
+)
+def test_persona_rounds(benchmark, persona):
+    outcomes = benchmark.pedantic(run_rounds, args=(persona,), rounds=1, iterations=1)
+    stats = summarise(outcomes)
+    benchmark.extra_info.update({persona.name: stats})
+    if persona is SUPERVISOR:
+        assert stats["success_rate"] >= 0.8
+    # Failures are always explicit timeouts, never misread answers.
+    for outcome in outcomes:
+        if not outcome.succeeded:
+            assert outcome.failure_reason in (
+                "attention not gained",
+                "no answer to space request",
+            )
+
+
+def test_training_orders_success():
+    """The headline row: success degrades with training level."""
+    rates = {
+        persona.name: summarise(run_rounds(persona, rounds=6))["success_rate"]
+        for persona in (SUPERVISOR, WORKER, VISITOR)
+    }
+    assert rates["orchard supervisor"] >= rates["orchard visitor"]
+
+
+if __name__ == "__main__":
+    print(f"T-PROTO negotiation outcomes ({ROUNDS_PER_PERSONA} rounds each):")
+    print(f"{'persona':22s} {'success':>8} {'mean dur':>9} {'mean pokes':>11}")
+    for persona in (SUPERVISOR, WORKER, VISITOR):
+        stats = summarise(run_rounds(persona))
+        duration = (
+            f"{stats['mean_duration_s']:.1f}s" if stats["mean_duration_s"] else "-"
+        )
+        print(
+            f"{persona.name:22s} {stats['success_rate']:8.1%} "
+            f"{duration:>9} {stats['mean_pokes']:11.1f}"
+        )

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artefacts (the enrolled recogniser) are session-scoped so the
+individual benchmarks measure their own work, not enrolment.
+"""
+
+import pytest
+
+from repro.recognition import SaxSignRecognizer
+
+
+@pytest.fixture(scope="session")
+def recognizer() -> SaxSignRecognizer:
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    return rec

@@ -1,0 +1,56 @@
+"""LED ring demo: the drone's light language in the terminal.
+
+Simulates a short flight — take-off, a cruise with several course
+changes, a triggered safety function, and the landing — printing the
+10-LED all-round ring after every phase, exactly the states of the
+paper's Figure 1 plus the Figure-2 shutdown.
+
+Run:  python examples/led_ring_demo.py
+"""
+
+from repro.drone import CruisePattern, DroneAgent, LandingPattern, TakeOffPattern
+from repro.geometry import Vec2
+from repro.simulation import World
+
+
+def ring_line(drone: DroneAgent, label: str) -> str:
+    snapshot = drone.ring.snapshot()
+    pretty = " ".join(snapshot.glyphs())
+    course = drone.state.course_deg()
+    course_text = f"course {course:5.1f} deg" if course is not None else "hovering    "
+    return (f"  [{pretty}]  mode={snapshot.mode.name:10s} {course_text}  "
+            f"alt={drone.state.position.z:4.1f} m   <- {label}")
+
+
+def main() -> None:
+    world = World()
+    drone = DroneAgent("drone")
+    world.add_entity(drone)
+
+    print("LED ring states through a flight (LED 0 = airframe nose, clockwise):")
+    print(ring_line(drone, "powered on: danger is the default (Fig. 1 top)"))
+
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    world.run_until(lambda w: drone.is_idle, timeout_s=30)
+    print(ring_line(drone, "airborne, hovering"))
+
+    for destination, label in [
+        (Vec2(20, 0), "cruising east"),
+        (Vec2(20, 20), "cruising north"),
+        (Vec2(0, 20), "cruising west"),
+    ]:
+        drone.fly_pattern(CruisePattern(destination=destination), world)
+        world.run_for(2.5)  # sample mid-transit
+        print(ring_line(drone, f"{label} (Fig. 1 bottom)"))
+        world.run_until(lambda w: drone.is_idle, timeout_s=60)
+
+    drone.trigger_emergency(world, reason="demonstration")
+    world.step()
+    print(ring_line(drone, "safety function triggered: all red"))
+    world.run_until(lambda w: drone.state.on_ground and not drone.state.rotors_on,
+                    timeout_s=60)
+    print(ring_line(drone, "emergency landing complete, lights out (Fig. 2)"))
+
+
+if __name__ == "__main__":
+    main()

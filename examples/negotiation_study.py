@@ -1,0 +1,66 @@
+"""Negotiation study: how training level shapes the human-drone dialogue.
+
+Runs repeated Figure-3 negotiation rounds against the three personas of
+the paper's user stories (supervisor / worker / visitor) and prints a
+comparison table — the protocol-level counterpart of Section II's
+requirements derivation.
+
+Run:  python examples/negotiation_study.py [rounds]
+"""
+
+import sys
+
+from repro.drone import DroneAgent, TakeOffPattern
+from repro.geometry import Vec2
+from repro.human import SUPERVISOR, VISITOR, WORKER, HumanAgent, Persona
+from repro.protocol import NegotiationConfig, NegotiationController
+from repro.simulation import World
+
+
+def run_round(persona: Persona, seed: int):
+    world = World()
+    drone = DroneAgent("drone", position=Vec2(-12, 0))
+    world.add_entity(drone)
+    human = HumanAgent("human", persona=persona, position=Vec2(0, 0), seed=seed)
+    world.add_entity(human)
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    world.run_until(lambda w: drone.is_idle, timeout_s=30)
+    controller = NegotiationController(
+        drone,
+        human,
+        config=NegotiationConfig(attention_timeout_s=8.0, answer_timeout_s=8.0),
+    )
+    world.add_entity(controller)
+    controller.start(world)
+    world.run_until(lambda w: controller.finished, timeout_s=300)
+    return controller.outcome
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    print(f"running {rounds} negotiation rounds per persona ...")
+    print()
+    header = (f"{'persona':22s} {'concluded':>10} {'granted':>8} {'denied':>7} "
+              f"{'failed':>7} {'mean dur':>9} {'mean obs':>9}")
+    print(header)
+    print("-" * len(header))
+    for persona in (SUPERVISOR, WORKER, VISITOR):
+        outcomes = [run_round(persona, seed) for seed in range(rounds)]
+        concluded = [o for o in outcomes if o.succeeded]
+        granted = sum(1 for o in concluded if o.space_granted)
+        denied = sum(1 for o in concluded if o.space_granted is False)
+        failed = len(outcomes) - len(concluded)
+        mean_duration = (
+            sum(o.duration_s for o in concluded) / len(concluded) if concluded else 0.0
+        )
+        mean_observations = sum(o.observations for o in outcomes) / len(outcomes)
+        print(f"{persona.name:22s} {len(concluded):>10d} {granted:>8d} {denied:>7d} "
+              f"{failed:>7d} {mean_duration:>8.1f}s {mean_observations:>9.1f}")
+    print()
+    print("reading: trained collaborators conclude almost every round; the")
+    print("untrained visitor often never answers — and the protocol fails")
+    print("SAFE (timeout + retreat), never guessing an unread sign.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` with a ``[build-system]`` table)
+fail with ``invalid command 'bdist_wheel'``.  Keeping this shim and
+omitting ``[build-system]`` from ``pyproject.toml`` routes pip through
+``setup.py develop``, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

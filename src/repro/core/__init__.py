@@ -1,0 +1,5 @@
+"""Core facade over the whole library."""
+
+from repro.core.environment import CollaborativeEnvironment
+
+__all__ = ["CollaborativeEnvironment"]

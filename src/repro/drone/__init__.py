@@ -1,0 +1,66 @@
+"""The drone: controllers, flight patterns, mode machine, agent.
+
+The seven flight patterns of Section III (three standard, four
+communicative), the PID/waypoint control stack that flies them on the
+simulated airframe, the trajectory classifier that proves they are
+mutually "unmistakable", and the mode state machine.
+"""
+
+from repro.drone.agent import DroneAgent, PatternExecution
+from repro.drone.navigation import NavigationConfig, WaypointFollower
+from repro.drone.pattern_classifier import (
+    TrajectoryFeatures,
+    TrajectorySample,
+    classify_trajectory,
+    extract_features,
+)
+from repro.drone.patterns import (
+    COMMUNICATIVE_PATTERNS,
+    DEFAULT_FLYING_HEIGHT_M,
+    SAFE_APPROACH_DISTANCE_M,
+    STANDARD_PATTERNS,
+    CruisePattern,
+    FlightPattern,
+    LandingPattern,
+    LightAction,
+    NodPattern,
+    PatternKind,
+    PatternStep,
+    PokePattern,
+    RectanglePattern,
+    TakeOffPattern,
+    TurnPattern,
+)
+from repro.drone.pid import PidController, PidGains
+from repro.drone.state_machine import DroneMode, FlightModeMachine, ModeTransitionError
+
+__all__ = [
+    "DroneAgent",
+    "PatternExecution",
+    "NavigationConfig",
+    "WaypointFollower",
+    "TrajectoryFeatures",
+    "TrajectorySample",
+    "classify_trajectory",
+    "extract_features",
+    "COMMUNICATIVE_PATTERNS",
+    "DEFAULT_FLYING_HEIGHT_M",
+    "SAFE_APPROACH_DISTANCE_M",
+    "STANDARD_PATTERNS",
+    "CruisePattern",
+    "FlightPattern",
+    "LandingPattern",
+    "LightAction",
+    "NodPattern",
+    "PatternKind",
+    "PatternStep",
+    "PokePattern",
+    "RectanglePattern",
+    "TakeOffPattern",
+    "TurnPattern",
+    "PidController",
+    "PidGains",
+    "DroneMode",
+    "FlightModeMachine",
+    "ModeTransitionError",
+]

@@ -1,0 +1,333 @@
+"""The drone agent: airframe + navigation + lights + pattern executor.
+
+Ties the simulator substrate together: a :class:`DroneAgent` lives in
+the :class:`~repro.simulation.world.World`, executes queued flight
+patterns step by step, keeps the all-round ring consistent with its
+motion (navigation colours while translating, danger on faults, dark
+after shutdown — Figures 1 and 2), books battery energy, and records its
+trajectory for the pattern classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.drone.navigation import NavigationConfig, WaypointFollower
+from repro.drone.pattern_classifier import TrajectorySample
+from repro.drone.patterns import (
+    FlightPattern,
+    LandingPattern,
+    LightAction,
+    PatternKind,
+    PatternStep,
+    TakeOffPattern,
+)
+from repro.drone.state_machine import DroneMode, FlightModeMachine
+from repro.geometry.vec import Vec2, Vec3
+from repro.signaling.ring import AllRoundLightRing, RingMode
+from repro.simulation.battery import Battery, BatteryDepleted
+from repro.simulation.body import BodyState, MultirotorBody
+from repro.simulation.sensors import CameraMount, StateEstimator
+
+__all__ = ["DroneAgent", "PatternExecution"]
+
+RING_POWER_BUDGET_W = 2.0
+RECOGNITION_COMPUTE_POWER_W = 3.0
+
+
+@dataclass
+class PatternExecution:
+    """Book-keeping for one pattern being flown."""
+
+    pattern: FlightPattern
+    steps: list[PatternStep]
+    index: int = 0
+    hold_remaining_s: float = 0.0
+    started_at_s: float = 0.0
+    finished: bool = False
+
+    @property
+    def current_step(self) -> PatternStep | None:
+        """The active step, or ``None`` when done."""
+        if self.index >= len(self.steps):
+            return None
+        return self.steps[self.index]
+
+
+class DroneAgent:
+    """The collaborative drone.
+
+    Parameters
+    ----------
+    name:
+        Unique entity name in the world.
+    position:
+        Initial ground position (the drone starts parked).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        position: Vec2 = Vec2(),
+        navigation: NavigationConfig | None = None,
+        battery: Battery | None = None,
+    ) -> None:
+        self.name = name
+        self.body = MultirotorBody()
+        self.body.state.position = Vec3(position.x, position.y, 0.0)
+        self.follower = WaypointFollower(navigation)
+        self.ring = AllRoundLightRing()
+        self.battery = battery if battery is not None else Battery()
+        self.estimator = StateEstimator.perfect()
+        self.camera = CameraMount()
+        self.modes = FlightModeMachine()
+        self._queue: list[PatternExecution] = []
+        self._trajectory: list[TrajectorySample] = []
+        self._record_trajectory = False
+        self._emergency_reason: str | None = None
+
+    # -- state views ---------------------------------------------------------------
+
+    @property
+    def state(self) -> BodyState:
+        """The true body state."""
+        return self.body.state
+
+    @property
+    def mode(self) -> DroneMode:
+        """Current flight mode."""
+        return self.modes.mode
+
+    @property
+    def is_idle(self) -> bool:
+        """``True`` when no pattern is queued or executing."""
+        return not self._queue
+
+    @property
+    def current_pattern(self) -> FlightPattern | None:
+        """The pattern currently being flown."""
+        if not self._queue:
+            return None
+        return self._queue[0].pattern
+
+    @property
+    def emergency_reason(self) -> str | None:
+        """Why the drone entered EMERGENCY, if it did."""
+        return self._emergency_reason
+
+    def position3(self) -> Vec3:
+        """World entity protocol: current position."""
+        return self.state.position
+
+    # -- commanding ------------------------------------------------------------------
+
+    def fly_pattern(self, pattern: FlightPattern, world) -> PatternExecution:
+        """Queue *pattern* for execution; returns its execution record.
+
+        Patterns queued behind others compile from the last queued
+        waypoint so chained patterns join up.
+        """
+        origin = self.state.position
+        for execution in reversed(self._queue):
+            targets = [s.target for s in execution.steps if s.target is not None]
+            if targets:
+                origin = targets[-1]
+                break
+        steps = pattern.compile(origin, self.state.heading_deg)
+        if not steps:
+            raise ValueError(f"pattern {pattern.kind.value} compiled to no steps")
+        execution = PatternExecution(
+            pattern=pattern, steps=steps, started_at_s=world.now_s
+        )
+        self._queue.append(execution)
+        world.record(self.name, "pattern_queued", pattern=pattern.kind.value)
+        return execution
+
+    def abort_patterns(self, world) -> None:
+        """Drop all queued patterns and hover in place."""
+        self._queue.clear()
+        self.follower.clear()
+        self.body.command_velocity(Vec3())
+        if self.modes.mode in (DroneMode.CRUISING, DroneMode.COMMUNICATING):
+            self.modes.transition(DroneMode.HOVERING, world.now_s)
+        world.record(self.name, "patterns_aborted")
+
+    def trigger_emergency(self, world, reason: str) -> None:
+        """Enter EMERGENCY: all-red ring, queue dropped, immediate landing."""
+        if self.modes.in_emergency:
+            return
+        self._emergency_reason = reason
+        self._queue.clear()
+        self.follower.clear()
+        self.ring.trigger_safety()
+        if self.modes.mode is not DroneMode.PARKED:
+            self.modes.transition(DroneMode.EMERGENCY, world.now_s)
+            # Queue a landing flown under emergency rules.
+            execution = PatternExecution(
+                pattern=LandingPattern(),
+                steps=LandingPattern().compile(self.state.position, self.state.heading_deg),
+                started_at_s=world.now_s,
+            )
+            self._queue.append(execution)
+        world.record(self.name, "emergency", reason=reason)
+
+    def start_trajectory_recording(self) -> None:
+        """Begin recording (time, pose) samples for pattern classification."""
+        self._trajectory = []
+        self._record_trajectory = True
+
+    def stop_trajectory_recording(self) -> list[TrajectorySample]:
+        """Stop recording and return the samples."""
+        self._record_trajectory = False
+        return list(self._trajectory)
+
+    # -- world entity protocol ---------------------------------------------------------
+
+    def update(self, world, dt: float) -> None:
+        """Advance one tick: pattern steps, control loops, lights, energy."""
+        self._advance_pattern(world, dt)
+        self._run_control(dt)
+        self.body.step(dt, wind_velocity=world.wind.velocity_at(world.now_s))
+        self._update_lights()
+        self._book_energy(world, dt)
+        if self._record_trajectory:
+            state = self.state
+            self._trajectory.append(
+                TrajectorySample(
+                    time_s=world.now_s,
+                    x=state.position.x,
+                    y=state.position.y,
+                    z=state.position.z,
+                    heading_deg=state.heading_deg,
+                )
+            )
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _advance_pattern(self, world, dt: float) -> None:
+        if not self._queue:
+            return
+        execution = self._queue[0]
+        step = execution.current_step
+        if step is None:
+            self._finish_pattern(world, execution)
+            return
+
+        # Mode follows the pattern being flown.
+        self._sync_mode(execution.pattern, world)
+
+        if step.target is not None:
+            self.follower.set_target(step.target)
+        if step.heading_deg is not None:
+            self.body.command_heading(step.heading_deg, dt)
+
+        if step.target is None:
+            arrived = True
+        elif step.arrival_radius_m is not None:
+            arrived = (
+                self.state.position.distance_to(step.target) <= step.arrival_radius_m
+            )
+        else:
+            arrived = self.follower.arrived(self.state)
+        heading_ok = step.heading_deg is None or (
+            abs(
+                (self.state.heading_deg - step.heading_deg + 180.0) % 360.0 - 180.0
+            )
+            <= 4.0
+        )
+        if arrived and heading_ok:
+            if execution.hold_remaining_s <= 0.0 and step.hold_s > 0.0:
+                execution.hold_remaining_s = step.hold_s
+            elif step.hold_s > 0.0:
+                execution.hold_remaining_s -= dt
+            if step.hold_s <= 0.0 or execution.hold_remaining_s <= 0.0:
+                self._complete_step(world, execution, step)
+
+    def _complete_step(self, world, execution: PatternExecution, step: PatternStep) -> None:
+        if step.light is LightAction.DANGER:
+            self.ring.trigger_safety()
+        elif step.light is LightAction.EXTINGUISH:
+            pass  # applied after rotors stop, below
+        if step.rotors_off_after and self.state.on_ground:
+            self.body.stop_rotors()
+            # Figure 2 step 3: lights go out only once rotors are off.
+            self.ring.extinguish()
+        execution.index += 1
+        execution.hold_remaining_s = 0.0
+        world.record(
+            self.name,
+            "step_done",
+            pattern=execution.pattern.kind.value,
+            step=step.label,
+        )
+        if execution.current_step is None:
+            self._finish_pattern(world, execution)
+
+    def _finish_pattern(self, world, execution: PatternExecution) -> None:
+        execution.finished = True
+        self._queue.pop(0)
+        self.follower.clear()
+        kind = execution.pattern.kind
+        if kind is PatternKind.TAKE_OFF:
+            self.modes.transition(DroneMode.HOVERING, world.now_s)
+        elif kind is PatternKind.LANDING:
+            self.modes.transition(DroneMode.PARKED, world.now_s)
+            self._emergency_reason = None
+        elif kind.is_communicative or kind is PatternKind.CRUISE:
+            if not self.modes.in_emergency:
+                self.modes.transition(DroneMode.HOVERING, world.now_s)
+        world.record(self.name, "pattern_done", pattern=kind.value)
+
+    def _sync_mode(self, pattern: FlightPattern, world) -> None:
+        if self.modes.in_emergency:
+            return
+        kind = pattern.kind
+        target = {
+            PatternKind.TAKE_OFF: DroneMode.TAKING_OFF,
+            PatternKind.CRUISE: DroneMode.CRUISING,
+            PatternKind.LANDING: DroneMode.LANDING,
+        }.get(kind, DroneMode.COMMUNICATING)
+        if self.modes.mode is target:
+            return
+        if self.modes.mode is DroneMode.PARKED and kind is PatternKind.TAKE_OFF:
+            self.body.start_rotors()
+            self.modes.transition(DroneMode.TAKING_OFF, world.now_s)
+        elif self.modes.can_transition(target):
+            self.modes.transition(target, world.now_s)
+
+    def _run_control(self, dt: float) -> None:
+        if not self.state.rotors_on:
+            return
+        command = self.follower.velocity_command(self.state, dt)
+        self.body.command_velocity(command)
+
+    def _update_lights(self) -> None:
+        if self.modes.in_emergency:
+            self.ring.trigger_safety()
+            return
+        if self.modes.mode is DroneMode.PARKED and not self.state.rotors_on:
+            if self.ring.mode is not RingMode.OFF:
+                self.ring.extinguish()
+            return
+        self.ring.set_heading(self.state.heading_deg)
+        course = self.state.course_deg()
+        if course is not None:
+            self.ring.set_navigation(course)
+        elif self.ring.mode is not RingMode.NAVIGATION:
+            # Rotors on but hovering (or just cleared the power-on danger
+            # default): show the navigation pattern on the current
+            # heading so the drone is never dark or misleading in flight.
+            self.ring.set_navigation(self.state.heading_deg)
+
+    def _book_energy(self, world, dt: float) -> None:
+        if not self.state.rotors_on:
+            return
+        payload = RING_POWER_BUDGET_W + RECOGNITION_COMPUTE_POWER_W
+        try:
+            self.battery.flight_draw(self.state.velocity.norm(), dt, payload_w=payload)
+        except BatteryDepleted:
+            self.trigger_emergency(world, reason="battery depleted")
+            return
+        if self.battery.low and not self.modes.in_emergency:
+            if self.modes.mode not in (DroneMode.LANDING, DroneMode.PARKED):
+                self.trigger_emergency(world, reason="battery low")

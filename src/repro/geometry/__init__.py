@@ -1,0 +1,38 @@
+"""Geometry substrate: vectors, rotations, transforms, cameras, polygons.
+
+Everything else in the library builds on this package — the simulator for
+drone kinematics, the pose renderer for projecting the human signaller
+into the drone's camera, and the mission planner for ground-plane zones.
+"""
+
+from repro.geometry.camera import CameraIntrinsics, PinholeCamera, observation_camera
+from repro.geometry.polygon import Polygon, convex_hull
+from repro.geometry.rotation import (
+    Rot2,
+    angle_difference,
+    degrees_difference,
+    heading_to_math_angle,
+    math_angle_to_heading,
+    wrap_angle,
+    wrap_degrees,
+)
+from repro.geometry.transform import Transform2
+from repro.geometry.vec import Vec2, Vec3
+
+__all__ = [
+    "CameraIntrinsics",
+    "PinholeCamera",
+    "observation_camera",
+    "Polygon",
+    "convex_hull",
+    "Rot2",
+    "angle_difference",
+    "degrees_difference",
+    "heading_to_math_angle",
+    "math_angle_to_heading",
+    "wrap_angle",
+    "wrap_degrees",
+    "Transform2",
+    "Vec2",
+    "Vec3",
+]

@@ -1,0 +1,177 @@
+"""Planar polygon utilities.
+
+Used by the mission planner (occupancy/safety zones on the ground plane)
+and by tests that validate flight patterns (e.g. the "rectangle" request
+pattern must enclose the human collaborator's area).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.vec import Vec2
+
+__all__ = ["Polygon"]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple (non-self-intersecting) polygon on the ground plane."""
+
+    vertices: tuple[Vec2, ...]
+
+    def __init__(self, vertices: Iterable[Vec2]) -> None:
+        verts = tuple(vertices)
+        if len(verts) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+        object.__setattr__(self, "vertices", verts)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def edges(self) -> list[tuple[Vec2, Vec2]]:
+        """Return the list of directed edges, closing the ring."""
+        verts = self.vertices
+        return [(verts[i], verts[(i + 1) % len(verts)]) for i in range(len(verts))]
+
+    def signed_area(self) -> float:
+        """Return the signed area (positive for counter-clockwise winding)."""
+        total = 0.0
+        for a, b in self.edges():
+            total += a.cross(b)
+        return total / 2.0
+
+    def area(self) -> float:
+        """Return the absolute area."""
+        return abs(self.signed_area())
+
+    def perimeter(self) -> float:
+        """Return the total edge length."""
+        return sum(a.distance_to(b) for a, b in self.edges())
+
+    def centroid(self) -> Vec2:
+        """Return the area centroid."""
+        signed = self.signed_area()
+        if abs(signed) < 1e-15:
+            # Degenerate: fall back to the vertex mean.
+            sx = sum(v.x for v in self.vertices)
+            sy = sum(v.y for v in self.vertices)
+            return Vec2(sx / len(self.vertices), sy / len(self.vertices))
+        cx = cy = 0.0
+        for a, b in self.edges():
+            w = a.cross(b)
+            cx += (a.x + b.x) * w
+            cy += (a.y + b.y) * w
+        return Vec2(cx / (6.0 * signed), cy / (6.0 * signed))
+
+    def contains(self, point: Vec2) -> bool:
+        """Return ``True`` if *point* is strictly inside (ray-casting test).
+
+        Points exactly on an edge may land on either side; callers that
+        care should use :meth:`distance_to_boundary`.
+        """
+        inside = False
+        for a, b in self.edges():
+            crosses = (a.y > point.y) != (b.y > point.y)
+            if not crosses:
+                continue
+            x_at_y = a.x + (point.y - a.y) * (b.x - a.x) / (b.y - a.y)
+            if point.x < x_at_y:
+                inside = not inside
+        return inside
+
+    def distance_to_boundary(self, point: Vec2) -> float:
+        """Return the minimum distance from *point* to the polygon boundary."""
+        return min(_point_segment_distance(point, a, b) for a, b in self.edges())
+
+    def bounding_box(self) -> tuple[Vec2, Vec2]:
+        """Return ``(min_corner, max_corner)`` of the axis-aligned bounds."""
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return Vec2(min(xs), min(ys)), Vec2(max(xs), max(ys))
+
+    def expanded(self, margin: float) -> "Polygon":
+        """Return a polygon grown outward from its centroid by *margin*.
+
+        This is a centroid-scaling approximation of a buffer, adequate for
+        convex safety zones.
+        """
+        centre = self.centroid()
+        grown = []
+        for v in self.vertices:
+            offset = v - centre
+            length = offset.norm()
+            if length < 1e-12:
+                grown.append(v)
+            else:
+                grown.append(centre + offset * ((length + margin) / length))
+        return Polygon(grown)
+
+    @staticmethod
+    def rectangle(centre: Vec2, width: float, height: float, angle_rad: float = 0.0) -> "Polygon":
+        """Build a rectangle centred on *centre*, optionally rotated."""
+        if width <= 0 or height <= 0:
+            raise ValueError("rectangle dimensions must be positive")
+        half_w, half_h = width / 2.0, height / 2.0
+        corners = [
+            Vec2(-half_w, -half_h),
+            Vec2(half_w, -half_h),
+            Vec2(half_w, half_h),
+            Vec2(-half_w, half_h),
+        ]
+        return Polygon(centre + c.rotated(angle_rad) for c in corners)
+
+    @staticmethod
+    def regular(centre: Vec2, radius: float, sides: int) -> "Polygon":
+        """Build a regular polygon (used for approximate safety discs)."""
+        if sides < 3:
+            raise ValueError("a regular polygon needs at least three sides")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        step = 2.0 * math.pi / sides
+        return Polygon(
+            centre + Vec2.from_polar(radius, i * step) for i in range(sides)
+        )
+
+
+def _point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> float:
+    """Distance from point *p* to the closed segment *ab*."""
+    ab = b - a
+    denom = ab.norm_sq()
+    if denom < 1e-18:
+        return p.distance_to(a)
+    t = (p - a).dot(ab) / denom
+    t = max(0.0, min(1.0, t))
+    return p.distance_to(a + ab * t)
+
+
+def convex_hull(points: Sequence[Vec2]) -> list[Vec2]:
+    """Return the convex hull (Andrew's monotone chain), CCW order.
+
+    Collinear points on the hull boundary are dropped.
+    """
+    unique = sorted(set((p.x, p.y) for p in points))
+    if len(unique) <= 2:
+        return [Vec2(x, y) for x, y in unique]
+
+    def half_hull(seq: list[tuple[float, float]]) -> list[tuple[float, float]]:
+        hull: list[tuple[float, float]] = []
+        for pt in seq:
+            while len(hull) >= 2:
+                o, a = hull[-2], hull[-1]
+                cross = (a[0] - o[0]) * (pt[1] - o[1]) - (a[1] - o[1]) * (pt[0] - o[0])
+                if cross <= 0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(pt)
+        return hull
+
+    lower = half_hull(unique)
+    upper = half_hull(list(reversed(unique)))
+    return [Vec2(x, y) for x, y in lower[:-1] + upper[:-1]]
+
+
+__all__.append("convex_hull")

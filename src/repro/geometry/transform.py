@@ -1,0 +1,66 @@
+"""Rigid 2-D transforms (rotation + translation).
+
+Used by the pose renderer to place limb polygons in world coordinates
+and by the camera to express world→camera changes of frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.rotation import Rot2
+from repro.geometry.vec import Vec2
+
+__all__ = ["Transform2"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transform2:
+    """A rigid transform ``p -> R @ p + t`` on the plane."""
+
+    rotation: Rot2 = Rot2.identity()
+    translation: Vec2 = Vec2(0.0, 0.0)
+
+    @staticmethod
+    def identity() -> "Transform2":
+        """Return the identity transform."""
+        return Transform2()
+
+    @staticmethod
+    def from_parts(angle_rad: float, tx: float, ty: float) -> "Transform2":
+        """Build a transform from a rotation angle and translation components."""
+        return Transform2(Rot2(angle_rad), Vec2(tx, ty))
+
+    def apply(self, p: Vec2) -> Vec2:
+        """Transform a single point."""
+        return self.rotation.apply(p) + self.translation
+
+    def apply_many(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(n, 2)`` array of points in one vectorised call."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"expected an (n, 2) array, got shape {pts.shape}")
+        c = np.cos(self.rotation.angle_rad)
+        s = np.sin(self.rotation.angle_rad)
+        rot = np.array([[c, -s], [s, c]])
+        return pts @ rot.T + np.array([self.translation.x, self.translation.y])
+
+    def __matmul__(self, other: "Transform2") -> "Transform2":
+        """Compose: ``(a @ b).apply(p) == a.apply(b.apply(p))``."""
+        return Transform2(
+            self.rotation @ other.rotation,
+            self.rotation.apply(other.translation) + self.translation,
+        )
+
+    def inverse(self) -> "Transform2":
+        """Return the inverse transform."""
+        inv_rot = self.rotation.inverse()
+        return Transform2(inv_rot, -inv_rot.apply(self.translation))
+
+    def is_close(self, other: "Transform2", tol: float = 1e-9) -> bool:
+        """Return ``True`` when rotation and translation agree within *tol*."""
+        return self.rotation.is_close(other.rotation, tol) and self.translation.is_close(
+            other.translation, tol
+        )

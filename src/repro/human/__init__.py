@@ -1,0 +1,58 @@
+"""Human side of the collaboration: personas, poses, signs, rendering.
+
+The three personas from the paper's user stories (supervisor, worker,
+visitor), the articulated signaller skeleton, the three marshalling
+signs, and the renderer that projects a posed signaller into the
+drone camera.
+"""
+
+from repro.human.agent import HumanAgent
+from repro.human.dynamic import (
+    BUILTIN_DYNAMIC_SIGNS,
+    MOVE_UPWARD,
+    WAVE_OFF,
+    DynamicSign,
+)
+from repro.human.persona import (
+    SUPERVISOR,
+    VISITOR,
+    WORKER,
+    Persona,
+    ReactionSample,
+    TrainingLevel,
+)
+from repro.human.pose import (
+    ArmAngles,
+    BodyDimensions,
+    Bone,
+    HumanPose,
+    pose_for_sign,
+    pose_with_arms,
+)
+from repro.human.render import RenderSettings, render_frame, render_silhouette
+from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
+
+__all__ = [
+    "HumanAgent",
+    "BUILTIN_DYNAMIC_SIGNS",
+    "MOVE_UPWARD",
+    "WAVE_OFF",
+    "DynamicSign",
+    "ArmAngles",
+    "pose_with_arms",
+    "SUPERVISOR",
+    "VISITOR",
+    "WORKER",
+    "Persona",
+    "ReactionSample",
+    "TrainingLevel",
+    "BodyDimensions",
+    "Bone",
+    "HumanPose",
+    "pose_for_sign",
+    "RenderSettings",
+    "render_frame",
+    "render_silhouette",
+    "COMMUNICATIVE_SIGNS",
+    "MarshallingSign",
+]

@@ -1,0 +1,135 @@
+"""Dynamic marshalling signals (paper future work, Section V).
+
+"The flexibility of the system with respect to other static and,
+possibly later, dynamic marshalling signals should also be examined."
+
+A :class:`DynamicSign` is a periodic sequence of arm-configuration
+keyframes; the signaller's body animates between them.  Aviation
+marshalling is full of such signals (the "wave-off", "move upward", …),
+and they matter here because a *moving* signal is far harder to confuse
+with incidental posture than any static one.
+
+Recognition (see :mod:`repro.recognition.dynamic`) stays within the
+paper's philosophy: each keyframe is a static shape handled by the SAX
+machinery; the temporal dimension is decoded as a *sequence of keyframe
+labels*, which is again just string matching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.vec import Vec3
+from repro.human.pose import ArmAngles, BodyDimensions, HumanPose, pose_with_arms
+from repro.human.signs import MarshallingSign
+
+__all__ = ["DynamicSign", "WAVE_OFF", "MOVE_UPWARD", "BUILTIN_DYNAMIC_SIGNS"]
+
+
+@dataclass(frozen=True)
+class DynamicSign:
+    """A periodic signal defined by arm-angle keyframes.
+
+    Attributes
+    ----------
+    name:
+        Unique signal name (used as the recognition label prefix).
+    keyframes:
+        At least two arm configurations; the body cycles through them
+        (with linear interpolation) and wraps around.
+    period_s:
+        Duration of one full cycle through all keyframes.
+    meaning:
+        Human-readable protocol meaning.
+    """
+
+    name: str
+    keyframes: tuple[ArmAngles, ...]
+    period_s: float
+    meaning: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.keyframes) < 2:
+            raise ValueError("a dynamic sign needs at least two keyframes")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def n_keyframes(self) -> int:
+        """Number of keyframes in one cycle."""
+        return len(self.keyframes)
+
+    def phase_at(self, time_s: float) -> float:
+        """Cycle phase in ``[0, 1)`` at *time_s*."""
+        return (time_s % self.period_s) / self.period_s
+
+    def arms_at(self, time_s: float) -> ArmAngles:
+        """The (interpolated) arm configuration at *time_s*."""
+        phase = self.phase_at(time_s) * self.n_keyframes
+        index = int(phase) % self.n_keyframes
+        t = phase - int(phase)
+        current = self.keyframes[index]
+        nxt = self.keyframes[(index + 1) % self.n_keyframes]
+        return current.interpolated(nxt, t)
+
+    def keyframe_index_at(self, time_s: float) -> int:
+        """Which keyframe the pose is nearest at *time_s*."""
+        phase = self.phase_at(time_s) * self.n_keyframes
+        return int(phase + 0.5) % self.n_keyframes
+
+    def pose_at(
+        self,
+        time_s: float,
+        position: Vec3 = Vec3(0.0, 0.0, 0.0),
+        facing_deg: float = 0.0,
+        dimensions: BodyDimensions | None = None,
+        lean_deg: float = 0.0,
+    ) -> HumanPose:
+        """The full skeleton at *time_s* (animated between keyframes)."""
+        return pose_with_arms(
+            self.arms_at(time_s),
+            position=position,
+            facing_deg=facing_deg,
+            dimensions=dimensions,
+            lean_deg=lean_deg,
+            sign=MarshallingSign.IDLE,
+        )
+
+    def keyframe_pose(self, index: int, **kwargs) -> HumanPose:
+        """The exact pose of keyframe *index* (for enrolment)."""
+        return pose_with_arms(self.keyframes[index % self.n_keyframes], **kwargs)
+
+    def expected_label_cycle(self) -> list[str]:
+        """The keyframe-label sequence one cycle should produce."""
+        return [f"{self.name}#{k}" for k in range(self.n_keyframes)]
+
+
+# The classic aviation "wave-off" (arms repeatedly crossed overhead and
+# spread): keyframes alternate arms-up-spread and arms-crossed-high.
+# NOTE: keyframes must be distinct ACROSS the whole dynamic vocabulary —
+# a shared pose would be rejected by the classifier's margin rule (two
+# equally close labels), exactly as for the static signs.
+WAVE_OFF = DynamicSign(
+    name="wave_off",
+    keyframes=(
+        ArmAngles(150.0, 150.0, 150.0, 150.0),  # both arms up, spread
+        ArmAngles(170.0, 205.0, 170.0, 205.0),  # crossed overhead
+    ),
+    period_s=1.6,
+    meaning="abort the approach immediately",
+)
+
+# "Move upward": both arms sweep between hanging-out and horizontal,
+# the repeated upward scooping of aircraft marshalling.
+MOVE_UPWARD = DynamicSign(
+    name="move_upward",
+    keyframes=(
+        ArmAngles(35.0, 35.0, 35.0, 35.0),  # arms low, away from body
+        ArmAngles(95.0, 95.0, 95.0, 95.0),  # arms horizontal
+    ),
+    period_s=2.0,
+    meaning="increase altitude",
+)
+
+BUILTIN_DYNAMIC_SIGNS = (WAVE_OFF, MOVE_UPWARD)

@@ -1,0 +1,159 @@
+"""Personas: supervisor, worker, visitor (paper Section II).
+
+"We largely assembled the relevant requirements via the creation of
+user-stories based around three characters, orchard supervisor, orchard
+worker and orchard visitor, corresponding roughly to well trained,
+partially trained and non-trained persons."
+
+A persona parameterises how a human behaves inside the negotiation
+protocol: whether they notice a poke, how long they take to react, how
+crisply they form signs, and whether they answer at all.  The Figure-3
+and persona benchmarks sweep these.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.human.signs import MarshallingSign
+
+__all__ = ["TrainingLevel", "Persona", "SUPERVISOR", "WORKER", "VISITOR", "ReactionSample"]
+
+from enum import Enum
+
+
+class TrainingLevel(Enum):
+    """How much sign training the person has had."""
+
+    TRAINED = "trained"
+    PARTIALLY_TRAINED = "partially_trained"
+    UNTRAINED = "untrained"
+
+
+@dataclass(frozen=True, slots=True)
+class ReactionSample:
+    """One sampled human reaction to a drone request."""
+
+    noticed: bool
+    delay_s: float
+    sign: MarshallingSign
+    lean_deg: float  # posture sloppiness fed into the pose model
+
+
+@dataclass(frozen=True)
+class Persona:
+    """Behavioural parameters of one character.
+
+    Attributes
+    ----------
+    notice_probability:
+        Chance the person notices a poke at all (visual + acoustic).
+    response_probability:
+        Chance a noticing person responds with a sign rather than
+        ignoring the drone ("the choice of ignoring the approach or
+        responding").
+    correct_sign_probability:
+        Chance the responder produces the sign they intend; errors show
+        a *different* communicative sign (the dangerous confusion case).
+    mean_delay_s / delay_jitter_s:
+        Log-uniform-ish reaction delay parameters.
+    max_lean_deg:
+        Posture sloppiness bound; untrained signallers lean/angle their
+        arms more, degrading recognition.
+    grants_space_probability:
+        Chance the person answers YES to "may I occupy your area?".
+    """
+
+    name: str
+    training: TrainingLevel
+    notice_probability: float
+    response_probability: float
+    correct_sign_probability: float
+    mean_delay_s: float
+    delay_jitter_s: float
+    max_lean_deg: float
+    grants_space_probability: float
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "notice_probability",
+            "response_probability",
+            "correct_sign_probability",
+            "grants_space_probability",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be a probability")
+        if self.mean_delay_s < 0 or self.delay_jitter_s < 0 or self.max_lean_deg < 0:
+            raise ValueError("delays and lean must be non-negative")
+
+    def sample_reaction(
+        self,
+        intended: MarshallingSign,
+        rng: random.Random,
+    ) -> ReactionSample:
+        """Sample how this persona actually reacts when asked for *intended*."""
+        noticed = rng.random() < self.notice_probability
+        if not noticed or rng.random() >= self.response_probability:
+            return ReactionSample(
+                noticed=noticed,
+                delay_s=0.0,
+                sign=MarshallingSign.IDLE,
+                lean_deg=0.0,
+            )
+        delay = max(0.3, rng.gauss(self.mean_delay_s, self.delay_jitter_s))
+        if rng.random() < self.correct_sign_probability:
+            sign = intended
+        else:
+            alternatives = [
+                s
+                for s in MarshallingSign
+                if s.is_communicative and s is not intended
+            ]
+            sign = rng.choice(alternatives)
+        lean = rng.uniform(-self.max_lean_deg, self.max_lean_deg)
+        return ReactionSample(noticed=True, delay_s=delay, sign=sign, lean_deg=lean)
+
+    def decide_space_request(self, rng: random.Random) -> MarshallingSign:
+        """Return YES or NO to the drone's occupy-area request."""
+        if rng.random() < self.grants_space_probability:
+            return MarshallingSign.YES
+        return MarshallingSign.NO
+
+
+SUPERVISOR = Persona(
+    name="orchard supervisor",
+    training=TrainingLevel.TRAINED,
+    notice_probability=0.98,
+    response_probability=0.99,
+    correct_sign_probability=0.99,
+    mean_delay_s=1.2,
+    delay_jitter_s=0.3,
+    max_lean_deg=2.0,
+    grants_space_probability=0.9,
+)
+
+WORKER = Persona(
+    name="orchard worker",
+    training=TrainingLevel.PARTIALLY_TRAINED,
+    notice_probability=0.9,
+    response_probability=0.92,
+    correct_sign_probability=0.93,
+    mean_delay_s=2.0,
+    delay_jitter_s=0.8,
+    max_lean_deg=6.0,
+    grants_space_probability=0.75,
+)
+
+VISITOR = Persona(
+    name="orchard visitor",
+    training=TrainingLevel.UNTRAINED,
+    notice_probability=0.8,
+    response_probability=0.55,
+    correct_sign_probability=0.7,
+    mean_delay_s=3.5,
+    delay_jitter_s=1.5,
+    max_lean_deg=12.0,
+    grants_space_probability=0.5,
+)

@@ -1,0 +1,53 @@
+"""The marshalling sign vocabulary (paper Section III, Figure 3).
+
+Three static signs form the minimum necessary set:
+
+* ``ATTENTION`` — "attention gained": one hand raised up in front of the
+  face, "a human-reflex sign to an approaching danger emulating a person
+  putting their hand up to protect their face"; deliberately distinct
+  from known Swiss helicopter marshalling signs.
+* ``YES`` / ``NO`` — "modelled after well-known (Switzerland) emergency
+  services signs": YES is both arms raised in a Y, NO is one straight
+  diagonal line from raised right arm to lowered left arm.
+
+``IDLE`` (arms by the sides) is the non-signalling baseline the
+recogniser must *reject* — reading a sign into a worker who is simply
+picking cherries would be unsafe.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["MarshallingSign", "COMMUNICATIVE_SIGNS"]
+
+
+class MarshallingSign(Enum):
+    """Static human-to-drone signs."""
+
+    IDLE = "idle"
+    ATTENTION = "attention"
+    YES = "yes"
+    NO = "no"
+
+    @property
+    def is_communicative(self) -> bool:
+        """``True`` for the three deliberate signs (not IDLE)."""
+        return self is not MarshallingSign.IDLE
+
+    @property
+    def meaning(self) -> str:
+        """Human-readable meaning in the negotiation protocol."""
+        return {
+            MarshallingSign.IDLE: "no signal",
+            MarshallingSign.ATTENTION: "attention gained, proceed with request",
+            MarshallingSign.YES: "request granted",
+            MarshallingSign.NO: "request denied",
+        }[self]
+
+
+COMMUNICATIVE_SIGNS = (
+    MarshallingSign.ATTENTION,
+    MarshallingSign.YES,
+    MarshallingSign.NO,
+)

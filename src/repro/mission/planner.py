@@ -1,0 +1,85 @@
+"""Trap-visit route planning.
+
+Orders the due traps into a short tour from the drone's start position:
+nearest-neighbour construction followed by 2-opt improvement.  Uses
+``networkx`` only to build the distance structure when available —
+the tour algorithms themselves are implemented here (the tour is open,
+starting at the depot, which classic TSP helpers do not cover directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.vec import Vec2
+from repro.mission.flytrap import FlyTrap
+
+__all__ = ["RoutePlan", "plan_route", "tour_length"]
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """An ordered trap visiting plan."""
+
+    start: Vec2
+    traps: tuple[FlyTrap, ...]
+
+    @property
+    def length_m(self) -> float:
+        """Total horizontal tour length from the start through all traps."""
+        return tour_length(self.start, [t.position for t in self.traps])
+
+    def waypoints(self) -> list[Vec2]:
+        """The trap positions in visit order."""
+        return [t.position for t in self.traps]
+
+
+def tour_length(start: Vec2, stops: list[Vec2]) -> float:
+    """Length of the open tour start → stops[0] → ... → stops[-1]."""
+    total = 0.0
+    current = start
+    for stop in stops:
+        total += current.distance_to(stop)
+        current = stop
+    return total
+
+
+def plan_route(start: Vec2, traps: list[FlyTrap], improve: bool = True) -> RoutePlan:
+    """Plan a visiting order over *traps* from *start*.
+
+    Nearest-neighbour seeding, then 2-opt until no improving swap exists
+    (or unchanged when *improve* is false, for the ablation benchmark).
+    """
+    if not traps:
+        return RoutePlan(start=start, traps=())
+
+    remaining = list(traps)
+    order: list[FlyTrap] = []
+    current = start
+    while remaining:
+        nearest = min(remaining, key=lambda t: current.distance_to(t.position))
+        remaining.remove(nearest)
+        order.append(nearest)
+        current = nearest.position
+
+    if improve and len(order) >= 3:
+        order = _two_opt(start, order)
+    return RoutePlan(start=start, traps=tuple(order))
+
+
+def _two_opt(start: Vec2, order: list[FlyTrap]) -> list[FlyTrap]:
+    """2-opt improvement on the open tour."""
+    best = list(order)
+    best_length = tour_length(start, [t.position for t in best])
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(best) - 1):
+            for j in range(i + 1, len(best)):
+                candidate = best[:i] + best[i : j + 1][::-1] + best[j + 1 :]
+                candidate_length = tour_length(start, [t.position for t in candidate])
+                if candidate_length + 1e-9 < best_length:
+                    best = candidate
+                    best_length = candidate_length
+                    improved = True
+    return best

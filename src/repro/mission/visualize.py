@@ -1,0 +1,137 @@
+"""Terminal visualisation of the orchard world and mission results.
+
+Renders the ground plane as an ASCII map — tree rows, fly traps, humans
+(letter-coded by persona), the drone — plus a mission summary block.
+Used by the examples; the renderer is pure (string in, string out) so
+tests can assert on the exact output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drone.agent import DroneAgent
+from repro.human.persona import TrainingLevel
+from repro.mission.executor import MissionReport
+from repro.mission.orchard import Orchard
+
+__all__ = ["MapStyle", "render_map", "render_mission_summary"]
+
+
+@dataclass(frozen=True, slots=True)
+class MapStyle:
+    """Glyphs and scale of the ASCII map."""
+
+    metres_per_cell: float = 2.0
+    tree: str = "T"
+    trap_due: str = "o"
+    trap_read: str = "*"
+    drone: str = "D"
+    empty: str = "."
+    margin_cells: int = 2
+
+    def __post_init__(self) -> None:
+        if self.metres_per_cell <= 0:
+            raise ValueError("scale must be positive")
+        if self.margin_cells < 0:
+            raise ValueError("margin must be non-negative")
+
+
+_PERSONA_GLYPHS = {
+    TrainingLevel.TRAINED: "S",  # supervisor
+    TrainingLevel.PARTIALLY_TRAINED: "W",  # worker
+    TrainingLevel.UNTRAINED: "V",  # visitor
+}
+
+
+def render_map(
+    orchard: Orchard,
+    drone: DroneAgent | None = None,
+    style: MapStyle | None = None,
+) -> str:
+    """Render the orchard ground plane as a multi-line ASCII map.
+
+    The map is oriented with +y (north) upward and +x (east) rightward;
+    later-drawn layers overwrite earlier ones (drone on top).
+    """
+    cfg = style if style is not None else MapStyle()
+
+    xs: list[float] = []
+    ys: list[float] = []
+    for obstacle in orchard.world.obstacles:
+        xs.append(obstacle.position.x)
+        ys.append(obstacle.position.y)
+    for trap in orchard.traps:
+        xs.append(trap.position.x)
+        ys.append(trap.position.y)
+    for human in orchard.humans:
+        xs.append(human.position.x)
+        ys.append(human.position.y)
+    if drone is not None:
+        xs.append(drone.state.position.x)
+        ys.append(drone.state.position.y)
+    if not xs:
+        return "(empty world)"
+
+    scale = cfg.metres_per_cell
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    cols = int((max_x - min_x) / scale) + 1 + 2 * cfg.margin_cells
+    rows = int((max_y - min_y) / scale) + 1 + 2 * cfg.margin_cells
+    grid = [[cfg.empty for _ in range(cols)] for _ in range(rows)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = int((x - min_x) / scale) + cfg.margin_cells
+        # Row 0 is the top of the map = largest y.
+        row = rows - 1 - (int((y - min_y) / scale) + cfg.margin_cells)
+        if 0 <= row < rows and 0 <= col < cols:
+            grid[row][col] = glyph
+
+    for obstacle in orchard.world.obstacles:
+        place(obstacle.position.x, obstacle.position.y, cfg.tree)
+    for trap in orchard.traps:
+        glyph = cfg.trap_due if trap.due else cfg.trap_read
+        place(trap.position.x, trap.position.y, glyph)
+    for human in orchard.humans:
+        glyph = _PERSONA_GLYPHS.get(human.persona.training, "H")
+        place(human.position.x, human.position.y, glyph)
+    if drone is not None:
+        place(drone.state.position.x, drone.state.position.y, cfg.drone)
+
+    legend = (
+        f"  [{cfg.tree}=tree {cfg.trap_due}=trap(due) {cfg.trap_read}=trap(read) "
+        f"S/W/V=supervisor/worker/visitor {cfg.drone}=drone]  "
+        f"1 cell = {scale:g} m"
+    )
+    body = "\n".join("".join(row) for row in grid)
+    return body + "\n" + legend
+
+
+def render_mission_summary(report: MissionReport, total_traps: int) -> str:
+    """Render a fixed-width mission summary block."""
+    lines = [
+        "+--------------------- mission summary ---------------------+",
+        f"| traps read            {report.traps_read:>3d} / {total_traps:<3d}"
+        f"{'':28s}|",
+        f"| skipped               {len(report.skipped_traps):>3d}"
+        f"{'':34s}|",
+        f"| spray recommendations {report.spray_recommendations:>3d}"
+        f"{'':34s}|",
+        f"| negotiations          {report.negotiations:>3d}  "
+        f"(granted {report.negotiations_granted}, denied "
+        f"{report.negotiations_denied}, failed {report.negotiations_failed})",
+        f"| mission time          {report.duration_s:>6.0f} s"
+        f"{'':29s}|",
+        f"| safety events         {report.safety_events:>3d}"
+        f"{'':34s}|",
+        "+------------------------------------------------------------+",
+    ]
+    # Normalise the variable-width negotiation row to the frame width.
+    width = len(lines[0])
+    normalised = []
+    for line in lines:
+        if len(line) < width and line.startswith("|"):
+            line = line[:-1] if line.endswith("|") else line
+            line = line.ljust(width - 1) + "|"
+        normalised.append(line[:width])
+    return "\n".join(normalised)

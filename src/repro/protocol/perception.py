@@ -1,0 +1,130 @@
+"""Perception models: how the drone reads the human's sign.
+
+Two implementations of one interface:
+
+* :class:`SaxPerception` — the real pipeline: render the human's current
+  pose through the drone's camera, run the full SAX recogniser.  Used by
+  the recognition-centric benchmarks (Figure 4 and the envelopes).
+* :class:`OraclePerception` — a geometric stand-in that returns the true
+  sign whenever the viewing geometry is inside the *calibrated*
+  recognition envelope (altitude band, azimuth dead angle, range limit)
+  and ``None`` otherwise.  Orders of magnitude faster; used by the
+  mission-scale simulations where thousands of observations occur.  Its
+  envelope parameters default to the values measured from the SAX
+  pipeline, so protocol-level results transfer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.geometry.rotation import degrees_difference
+from repro.geometry.vec import Vec3
+from repro.human.agent import HumanAgent
+from repro.human.render import RenderSettings, render_frame
+from repro.human.signs import MarshallingSign
+from repro.recognition.pipeline import SaxSignRecognizer, observation_elevation_deg
+
+__all__ = ["Perception", "OraclePerception", "SaxPerception", "ObservationGeometry"]
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationGeometry:
+    """Geometry of one drone-observes-human instant."""
+
+    altitude_m: float
+    horizontal_distance_m: float
+    relative_azimuth_deg: float  # human facing vs drone bearing
+
+    @staticmethod
+    def between(drone_position: Vec3, human: HumanAgent) -> "ObservationGeometry":
+        """Compute the observation geometry for the current poses."""
+        offset = drone_position.horizontal() - human.position
+        distance = offset.norm()
+        if distance < 1e-9:
+            bearing_deg = 0.0
+        else:
+            bearing_deg = math.degrees(math.atan2(offset.x, offset.y)) % 360.0
+        azimuth = abs(degrees_difference(bearing_deg, human.facing_deg))
+        return ObservationGeometry(
+            altitude_m=drone_position.z,
+            horizontal_distance_m=distance,
+            relative_azimuth_deg=azimuth,
+        )
+
+
+@runtime_checkable
+class Perception(Protocol):
+    """Anything that can read a sign from the current world state."""
+
+    def observe(self, drone_position: Vec3, human: HumanAgent) -> MarshallingSign | None:
+        """Return the recognised sign, or ``None`` when unreadable."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class OraclePerception:
+    """Envelope-gated ground-truth perception.
+
+    Defaults mirror the calibrated SAX envelope: altitude 2 m lower
+    bound, ~65° azimuth limit, 12 m slant-range ceiling (beyond which the
+    silhouette drops under the minimum component area).
+    """
+
+    min_altitude_m: float = 2.0
+    max_azimuth_deg: float = 65.0
+    max_range_m: float = 12.0
+
+    def observe(self, drone_position: Vec3, human: HumanAgent) -> MarshallingSign | None:
+        """Read the true sign when geometry is inside the envelope."""
+        geometry = ObservationGeometry.between(drone_position, human)
+        slant = math.hypot(geometry.horizontal_distance_m, geometry.altitude_m)
+        if geometry.altitude_m < self.min_altitude_m:
+            return None
+        if geometry.relative_azimuth_deg > self.max_azimuth_deg:
+            return None
+        if slant > self.max_range_m:
+            return None
+        sign = human.current_sign
+        return sign if sign.is_communicative else None
+
+
+class SaxPerception:
+    """Full-pipeline perception through the drone camera."""
+
+    def __init__(
+        self,
+        recognizer: SaxSignRecognizer | None = None,
+        render_settings: RenderSettings | None = None,
+    ) -> None:
+        if recognizer is None:
+            recognizer = SaxSignRecognizer()
+            recognizer.enroll_canonical_views()
+        elif not recognizer.enrolled_signs:
+            recognizer.enroll_canonical_views()
+        self.recognizer = recognizer
+        self.render_settings = (
+            render_settings if render_settings is not None else RenderSettings()
+        )
+
+    def observe(self, drone_position: Vec3, human: HumanAgent) -> MarshallingSign | None:
+        """Render the scene and run the SAX recogniser."""
+        torso = human.position3() + Vec3(0.0, 0.0, 1.1)
+        if drone_position.is_close(torso, tol=1e-6):
+            return None
+        from repro.geometry.camera import CameraIntrinsics, PinholeCamera
+
+        camera = PinholeCamera(
+            position=drone_position,
+            target=torso,
+            intrinsics=CameraIntrinsics(240, 240, 280.0),
+        )
+        frame = render_frame(human.current_pose(), camera, self.render_settings)
+        geometry = ObservationGeometry.between(drone_position, human)
+        elevation = observation_elevation_deg(
+            geometry.altitude_m, max(geometry.horizontal_distance_m, 0.1)
+        )
+        recognition = self.recognizer.recognise(frame, elevation_deg=elevation)
+        return recognition.sign

@@ -1,0 +1,134 @@
+"""Baseline classifiers to compare SAX against.
+
+The paper motivates SAX by contrast with heavier techniques (neural
+networks, Kinect-based skeletons) it deems unlikely to pass safety
+certification.  Those exact systems are out of scope, but two classical
+alternatives bracket SAX from both sides:
+
+* :class:`HuMomentClassifier` — region-based rotation invariants;
+  cheaper features, but weaker shape discrimination;
+* :class:`TemplateCorrelationClassifier` — normalised cross-correlation
+  of whole silhouettes; strong but not rotation invariant and far more
+  expensive per comparison.
+
+Both implement the same ``enroll``/``classify`` surface as the SAX
+pipeline so the baseline benchmark can sweep them interchangeably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import BinaryImage
+from repro.vision.moments import hu_moments
+
+__all__ = ["BaselineResult", "HuMomentClassifier", "TemplateCorrelationClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineResult:
+    """Classification outcome of a baseline classifier."""
+
+    label: str | None
+    score: float
+    elapsed_s: float
+
+
+class HuMomentClassifier:
+    """Nearest-neighbour over log-scaled Hu moment vectors."""
+
+    def __init__(self, acceptance_threshold: float = 1.2) -> None:
+        if acceptance_threshold <= 0:
+            raise ValueError("acceptance threshold must be positive")
+        self.acceptance_threshold = acceptance_threshold
+        self._references: dict[str, np.ndarray] = {}
+
+    @property
+    def labels(self) -> list[str]:
+        """Enrolled labels."""
+        return list(self._references)
+
+    def enroll(self, label: str, silhouette: BinaryImage) -> None:
+        """Store the Hu-moment vector of a canonical silhouette."""
+        self._references[label] = hu_moments(silhouette)
+
+    def classify(self, silhouette: BinaryImage) -> BaselineResult:
+        """Nearest neighbour in Hu space with an acceptance threshold."""
+        if not self._references:
+            raise RuntimeError("no references enrolled")
+        start = time.perf_counter()
+        query = hu_moments(silhouette)
+        best_label: str | None = None
+        best_distance = float("inf")
+        for label, reference in self._references.items():
+            distance = float(np.linalg.norm(query - reference))
+            if distance < best_distance:
+                best_label, best_distance = label, distance
+        elapsed = time.perf_counter() - start
+        if best_distance > self.acceptance_threshold:
+            return BaselineResult(label=None, score=best_distance, elapsed_s=elapsed)
+        return BaselineResult(label=best_label, score=best_distance, elapsed_s=elapsed)
+
+
+class TemplateCorrelationClassifier:
+    """Normalised cross-correlation of centred, size-normalised masks.
+
+    Templates and queries are cropped to their bounding box and resampled
+    onto a fixed grid; the score is the Pearson correlation of the two
+    binary fields.  Deliberately *not* rotation invariant — the ablation
+    benchmark shows it collapsing when the signaller is rotated, which is
+    precisely the failure mode the paper's SAX choice avoids.
+    """
+
+    def __init__(self, grid: int = 64, acceptance_threshold: float = 0.55) -> None:
+        if grid < 8:
+            raise ValueError("grid must be >= 8")
+        if not 0.0 < acceptance_threshold < 1.0:
+            raise ValueError("acceptance threshold must be in (0, 1)")
+        self.grid = grid
+        self.acceptance_threshold = acceptance_threshold
+        self._templates: dict[str, np.ndarray] = {}
+
+    @property
+    def labels(self) -> list[str]:
+        """Enrolled labels."""
+        return list(self._templates)
+
+    def _normalise(self, silhouette: BinaryImage) -> np.ndarray:
+        bbox = silhouette.bounding_box()
+        if bbox is None:
+            raise ValueError("empty silhouette")
+        top, left, height, width = bbox
+        crop = silhouette.pixels[top : top + height, left : left + width].astype(np.float64)
+        # Resample onto the fixed grid with nearest-neighbour indexing.
+        rows = np.minimum((np.arange(self.grid) * height) // self.grid, height - 1)
+        cols = np.minimum((np.arange(self.grid) * width) // self.grid, width - 1)
+        return crop[np.ix_(rows, cols)]
+
+    def enroll(self, label: str, silhouette: BinaryImage) -> None:
+        """Store the normalised template for *label*."""
+        self._templates[label] = self._normalise(silhouette)
+
+    def classify(self, silhouette: BinaryImage) -> BaselineResult:
+        """Best Pearson correlation against all templates."""
+        if not self._templates:
+            raise RuntimeError("no templates enrolled")
+        start = time.perf_counter()
+        query = self._normalise(silhouette)
+        q = query - query.mean()
+        q_norm = float(np.sqrt((q * q).sum()))
+        best_label: str | None = None
+        best_score = -1.0
+        for label, template in self._templates.items():
+            t = template - template.mean()
+            denominator = q_norm * float(np.sqrt((t * t).sum()))
+            score = 0.0 if denominator < 1e-12 else float((q * t).sum() / denominator)
+            if score > best_score:
+                best_label, best_score = label, score
+        elapsed = time.perf_counter() - start
+        if best_score < self.acceptance_threshold:
+            return BaselineResult(label=None, score=best_score, elapsed_s=elapsed)
+        return BaselineResult(label=best_label, score=best_score, elapsed_s=elapsed)

@@ -1,0 +1,91 @@
+"""Real-time budget accounting for the recognition pipeline.
+
+The paper reports 38 ms (0°) and 27 ms (65°) per frame and argues the
+approach can reach 30–60 fps after optimisation.  Absolute numbers are
+hardware-bound, so the library instead *measures* each stage and checks
+the result against a configurable frame budget — the reproducible claim
+is "comfortably within a real-time budget on unoptimised Python", and
+the latency benchmark reports the same stage split the paper discusses
+(pre-processing dominant, SAX conversion + string search cheap).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["StageTiming", "FrameBudget", "BudgetReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class StageTiming:
+    """Wall-clock duration of one pipeline stage."""
+
+    stage: str
+    duration_s: float
+
+
+@dataclass
+class FrameBudget:
+    """Collects stage timings for one processed frame."""
+
+    budget_s: float = 1.0 / 30.0  # the paper's 30 fps target
+    timings: list[StageTiming] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ValueError("budget must be positive")
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.append(StageTiming(name, time.perf_counter() - start))
+
+    def total_s(self) -> float:
+        """Total measured time across stages."""
+        return sum(t.duration_s for t in self.timings)
+
+    def within_budget(self) -> bool:
+        """``True`` when the frame fit the budget."""
+        return self.total_s() <= self.budget_s
+
+    def report(self) -> "BudgetReport":
+        """Freeze the current timings into a report."""
+        return BudgetReport(
+            budget_s=self.budget_s,
+            stages=tuple(self.timings),
+            total_s=self.total_s(),
+        )
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Immutable stage-timing summary for one frame."""
+
+    budget_s: float
+    stages: tuple[StageTiming, ...]
+    total_s: float
+
+    @property
+    def within_budget(self) -> bool:
+        """``True`` when the frame fit the budget."""
+        return self.total_s <= self.budget_s
+
+    def stage_fraction(self, stage: str) -> float:
+        """Fraction of total time spent in *stage* (0 when unmeasured)."""
+        if self.total_s <= 0:
+            return 0.0
+        spent = sum(t.duration_s for t in self.stages if t.stage == stage)
+        return spent / self.total_s
+
+    def summary(self) -> str:
+        """One-line human-readable split."""
+        parts = ", ".join(f"{t.stage}={t.duration_s * 1e3:.1f}ms" for t in self.stages)
+        verdict = "OK" if self.within_budget else "OVER"
+        return f"total={self.total_s * 1e3:.1f}ms [{verdict} @ {self.budget_s * 1e3:.1f}ms]: {parts}"

@@ -1,0 +1,207 @@
+"""Dynamic-sign recognition: temporal SAX (paper future work).
+
+Extends the static pipeline to the dynamic marshalling signals of
+:mod:`repro.human.dynamic` without abandoning the paper's cheapness
+philosophy: every observed frame goes through the ordinary
+shape-to-SAX-string machinery against a database of *keyframe* shapes,
+and the temporal axis is decoded as a string of keyframe labels — the
+signal is recognised when the label sequence visits at least one full
+cycle of its keyframes in order.
+
+This keeps the per-frame cost identical to static recognition; the
+sequence decoder is a trivial state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.camera import PinholeCamera, observation_camera
+from repro.human.dynamic import DynamicSign
+from repro.human.render import RenderSettings, render_frame
+from repro.recognition.pipeline import (
+    SaxSignRecognizer,
+    observation_elevation_deg,
+)
+from repro.recognition.preprocess import PreprocessSettings, preprocess_frame
+from repro.sax.database import SignDatabase
+from repro.sax.encoder import SaxParameters
+from repro.vision.image import Image
+
+__all__ = ["DynamicObservation", "DynamicRecognition", "DynamicSignRecognizer"]
+
+
+@dataclass(frozen=True, slots=True)
+class DynamicObservation:
+    """One frame's keyframe verdict."""
+
+    time_s: float
+    label: str | None  # e.g. "wave_off#1", or None when unreadable
+
+
+@dataclass(frozen=True)
+class DynamicRecognition:
+    """Outcome of decoding an observation window."""
+
+    sign_name: str | None
+    cycles_seen: int
+    observations: tuple[DynamicObservation, ...]
+
+    @property
+    def recognised(self) -> bool:
+        """``True`` when a dynamic sign was decoded."""
+        return self.sign_name is not None
+
+
+class DynamicSignRecognizer:
+    """Recognises periodic signals as keyframe-label sequences.
+
+    Parameters
+    ----------
+    min_cycles:
+        Full keyframe cycles required before a signal is accepted
+        (2 by default: one cycle can be coincidence, two is intent —
+        the same reasoning behind the drone's repeated nod/turn).
+    """
+
+    def __init__(
+        self,
+        sax_parameters: SaxParameters | None = None,
+        acceptance_threshold: float = 0.55,
+        margin_threshold: float = 0.05,
+        preprocess_settings: PreprocessSettings | None = None,
+        min_cycles: int = 2,
+    ) -> None:
+        if min_cycles < 1:
+            raise ValueError("min_cycles must be >= 1")
+        self.preprocess_settings = (
+            preprocess_settings if preprocess_settings is not None else PreprocessSettings()
+        )
+        self.database = SignDatabase(
+            parameters=sax_parameters,
+            acceptance_threshold=acceptance_threshold,
+            margin_threshold=margin_threshold,
+        )
+        self.min_cycles = min_cycles
+        self._signs: dict[str, DynamicSign] = {}
+
+    # -- enrolment ------------------------------------------------------------------
+
+    def enroll(
+        self,
+        sign: DynamicSign,
+        altitude_m: float = 5.0,
+        distance_m: float = 3.0,
+        azimuths_deg: tuple[float, ...] = (0.0, 30.0),
+    ) -> None:
+        """Enrol every keyframe of *sign* from synthetic views."""
+        elevation = observation_elevation_deg(altitude_m, distance_m)
+        settings = RenderSettings(noise_sigma=0.0)
+        for index in range(sign.n_keyframes):
+            label = f"{sign.name}#{index}"
+            for azimuth in azimuths_deg:
+                camera = observation_camera(altitude_m, distance_m, azimuth)
+                frame = render_frame(sign.keyframe_pose(index), camera, settings)
+                result = preprocess_frame(
+                    frame, self.preprocess_settings, elevation_deg=elevation
+                )
+                if not result.ok:
+                    raise ValueError(
+                        f"cannot enrol {label}: {result.reject_reason}"
+                    )
+                assert result.series is not None
+                self.database.add(label, result.series, view=f"az{azimuth:.0f}")
+        self._signs[sign.name] = sign
+
+    @property
+    def enrolled_signs(self) -> list[str]:
+        """Names of enrolled dynamic signs."""
+        return list(self._signs)
+
+    # -- recognition ----------------------------------------------------------------
+
+    def classify_frame(
+        self, frame: Image, time_s: float, elevation_deg: float | None = None
+    ) -> DynamicObservation:
+        """Classify one frame against the keyframe database."""
+        result = preprocess_frame(
+            frame, self.preprocess_settings, elevation_deg=elevation_deg
+        )
+        if not result.ok:
+            return DynamicObservation(time_s=time_s, label=None)
+        assert result.series is not None
+        match = self.database.classify(result.series)
+        return DynamicObservation(time_s=time_s, label=match.label)
+
+    def decode(self, observations: list[DynamicObservation]) -> DynamicRecognition:
+        """Decode an observation window into a dynamic-sign verdict.
+
+        A sign is recognised when its keyframe labels appear in cyclic
+        order for at least ``min_cycles`` full cycles; other signs'
+        labels or unreadable frames reset nothing (they are simply
+        skipped), so brief occlusions do not break a decode.
+        """
+        best_name: str | None = None
+        best_cycles = 0
+        for name, sign in self._signs.items():
+            cycles = self._count_cycles(name, sign, observations)
+            if cycles > best_cycles:
+                best_name, best_cycles = name, cycles
+        if best_cycles >= self.min_cycles:
+            return DynamicRecognition(
+                sign_name=best_name,
+                cycles_seen=best_cycles,
+                observations=tuple(observations),
+            )
+        return DynamicRecognition(
+            sign_name=None, cycles_seen=best_cycles, observations=tuple(observations)
+        )
+
+    def observe_sequence(
+        self,
+        sign_renderer,
+        duration_s: float,
+        sample_hz: float,
+        camera: PinholeCamera,
+        elevation_deg: float | None = None,
+    ) -> DynamicRecognition:
+        """Sample ``sign_renderer(t) -> Image`` at *sample_hz* and decode.
+
+        *sign_renderer* abstracts where frames come from (simulation or
+        recorded sequence); see the dynamic-sign benchmark for use.
+        """
+        if duration_s <= 0 or sample_hz <= 0:
+            raise ValueError("duration and sample rate must be positive")
+        observations = []
+        steps = int(duration_s * sample_hz)
+        for k in range(steps):
+            t = k / sample_hz
+            frame = sign_renderer(t)
+            observations.append(self.classify_frame(frame, t, elevation_deg))
+        return self.decode(observations)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _count_cycles(
+        self, name: str, sign: DynamicSign, observations: list[DynamicObservation]
+    ) -> int:
+        expected = sign.expected_label_cycle()
+        position = 0
+        cycles = 0
+        last_label: str | None = None
+        for obs in observations:
+            if obs.label is None or not obs.label.startswith(f"{name}#"):
+                continue
+            if obs.label == last_label:
+                continue  # still holding the same keyframe
+            last_label = obs.label
+            if obs.label == expected[position]:
+                position += 1
+                if position == len(expected):
+                    cycles += 1
+                    position = 0
+            elif obs.label == expected[0]:
+                position = 1  # restart mid-stream
+            else:
+                position = 0
+        return cycles

@@ -1,0 +1,177 @@
+"""Evaluation sweeps: the paper's altitude/azimuth envelopes (R1, R2).
+
+These functions drive :class:`~repro.recognition.pipeline.SaxSignRecognizer`
+across viewpoint grids and summarise where recognition holds, mirroring
+Section IV: recognised 2–5 m altitude at 3 m distance; erratic beyond
+65° relative azimuth, i.e. a ~100° dead angle centred on the side-on
+view (the paper counts 2 x (90° - 65°) per side plus the ambiguous
+region around 90°).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.human.signs import MarshallingSign
+from repro.recognition.pipeline import Recognition, SaxSignRecognizer
+
+__all__ = [
+    "SweepPoint",
+    "AltitudeEnvelope",
+    "AzimuthEnvelope",
+    "sweep_altitude",
+    "sweep_azimuth",
+    "confusion_matrix",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One viewpoint evaluation."""
+
+    parameter: float  # altitude or azimuth, depending on the sweep
+    recognised: bool
+    correct: bool
+    distance: float
+    reject_reason: str | None
+
+
+@dataclass(frozen=True)
+class AltitudeEnvelope:
+    """Result of an altitude sweep at fixed distance/azimuth."""
+
+    sign: MarshallingSign
+    points: tuple[SweepPoint, ...]
+
+    def working_band(self) -> tuple[float, float] | None:
+        """Return (min, max) altitude of the longest contiguous correct run."""
+        best: tuple[float, float] | None = None
+        run_start: float | None = None
+        previous: float | None = None
+        for point in self.points:
+            if point.correct:
+                if run_start is None:
+                    run_start = point.parameter
+                previous = point.parameter
+            else:
+                if run_start is not None and previous is not None:
+                    candidate = (run_start, previous)
+                    if best is None or candidate[1] - candidate[0] > best[1] - best[0]:
+                        best = candidate
+                run_start = None
+        if run_start is not None and previous is not None:
+            candidate = (run_start, previous)
+            if best is None or candidate[1] - candidate[0] > best[1] - best[0]:
+                best = candidate
+        return best
+
+
+@dataclass(frozen=True)
+class AzimuthEnvelope:
+    """Result of an azimuth sweep at fixed altitude/distance."""
+
+    sign: MarshallingSign
+    points: tuple[SweepPoint, ...]
+
+    def max_reliable_azimuth(self) -> float | None:
+        """Largest azimuth up to which recognition is uninterruptedly correct."""
+        last_good: float | None = None
+        for point in self.points:
+            if point.correct:
+                last_good = point.parameter
+            else:
+                break
+        return last_good
+
+    def dead_angle_deg(self) -> float:
+        """Dead angle: the total arc over which the sign cannot be read.
+
+        If recognition holds up to relative azimuth ``theta_max`` and the
+        silhouette is front/back and left/right symmetric, the readable
+        arcs are ``±theta_max`` about the frontal and rear directions and
+        the dead angle is ``360 - 4 * theta_max`` — the paper's "dead
+        angle of 100°" for ``theta_max = 65°`` (a 50° blind wedge centred
+        on each side-on direction).
+        """
+        theta_max = self.max_reliable_azimuth()
+        if theta_max is None:
+            return 360.0
+        return max(0.0, 360.0 - 4.0 * theta_max)
+
+
+def sweep_altitude(
+    recognizer: SaxSignRecognizer,
+    sign: MarshallingSign,
+    altitudes_m: np.ndarray | list[float],
+    distance_m: float = 3.0,
+    azimuth_deg: float = 0.0,
+) -> AltitudeEnvelope:
+    """Evaluate recognition across *altitudes_m* (paper: 1–8 m grid)."""
+    points = [
+        _evaluate(recognizer, sign, float(alt), distance_m, azimuth_deg, parameter=float(alt))
+        for alt in altitudes_m
+    ]
+    return AltitudeEnvelope(sign=sign, points=tuple(points))
+
+
+def sweep_azimuth(
+    recognizer: SaxSignRecognizer,
+    sign: MarshallingSign,
+    azimuths_deg: np.ndarray | list[float],
+    altitude_m: float = 5.0,
+    distance_m: float = 3.0,
+) -> AzimuthEnvelope:
+    """Evaluate recognition across *azimuths_deg* (paper: 0° and 65°)."""
+    points = [
+        _evaluate(recognizer, sign, altitude_m, distance_m, float(az), parameter=float(az))
+        for az in azimuths_deg
+    ]
+    return AzimuthEnvelope(sign=sign, points=tuple(points))
+
+
+def confusion_matrix(
+    recognizer: SaxSignRecognizer,
+    signs: list[MarshallingSign],
+    altitude_m: float = 5.0,
+    distance_m: float = 3.0,
+    azimuth_deg: float = 0.0,
+    lean_degs: list[float] | None = None,
+) -> dict[MarshallingSign, dict[str, int]]:
+    """Count recognise outcomes per true sign over optional lean jitter.
+
+    Returns ``{true_sign: {predicted_label_or_'reject': count}}``.
+    """
+    leans = lean_degs if lean_degs is not None else [0.0]
+    matrix: dict[MarshallingSign, dict[str, int]] = {}
+    for sign in signs:
+        row: dict[str, int] = {}
+        for lean in leans:
+            recognition = recognizer.recognise_observation(
+                sign, altitude_m, distance_m, azimuth_deg, lean_deg=lean
+            )
+            key = recognition.sign.value if recognition.sign is not None else "reject"
+            row[key] = row.get(key, 0) + 1
+        matrix[sign] = row
+    return matrix
+
+
+def _evaluate(
+    recognizer: SaxSignRecognizer,
+    sign: MarshallingSign,
+    altitude_m: float,
+    distance_m: float,
+    azimuth_deg: float,
+    parameter: float,
+) -> SweepPoint:
+    recognition = recognizer.recognise_observation(sign, altitude_m, distance_m, azimuth_deg)
+    recognised = recognition.sign is not None
+    correct = recognised and recognition.sign is sign
+    return SweepPoint(
+        parameter=parameter,
+        recognised=recognised,
+        correct=correct,
+        distance=recognition.distance,
+        reject_reason=recognition.reject_reason,
+    )

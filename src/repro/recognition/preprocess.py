@@ -1,0 +1,150 @@
+"""Frame pre-processing: grayscale frame → shape time-series.
+
+The stage the paper describes as "the pre-processing of the image, the
+conversion of the image into a standardised time-series [which]
+initially appears expensive": blur, binarise (Otsu, dark-foreground),
+clean up with a morphological closing, keep the largest connected
+component, trace its outer contour, optionally rectify perspective
+foreshortening, and convert to a fixed-length centroid-distance
+signature.
+
+Elevation rectification
+-----------------------
+The drone always knows its own altitude and the ground distance to its
+interlocutor (it navigated there), hence the camera's elevation angle.
+Looking down at elevation ``e`` compresses the signaller's vertical
+extent by ``cos(e)``; :func:`rectify_contour` undoes that by stretching
+contour rows by ``1 / cos(e)``.  This substitutes for the depth cues a
+real (non-flat) human silhouette provides — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.components import largest_component
+from repro.vision.contour import Contour, trace_outer_contour
+from repro.vision.filters import gaussian_blur
+from repro.vision.image import BinaryImage, Image
+from repro.vision.morphology import closing
+from repro.vision.signature import SignatureKind, compute_signature
+from repro.vision.threshold import threshold_otsu
+
+__all__ = [
+    "PreprocessSettings",
+    "PreprocessResult",
+    "preprocess_frame",
+    "silhouette_to_series",
+    "rectify_contour",
+]
+
+# Rectification is capped: beyond ~80 degrees the stretch amplifies
+# pixel noise more than it recovers shape.
+MAX_RECTIFY_ELEVATION_DEG = 80.0
+
+
+def rectify_contour(contour: Contour, elevation_deg: float) -> Contour:
+    """Undo vertical foreshortening for a camera at *elevation_deg*.
+
+    Stretches contour rows about their mean by ``1 / cos(elevation)``.
+    Elevations are clamped to ``MAX_RECTIFY_ELEVATION_DEG``.
+    """
+    elevation = min(abs(elevation_deg), MAX_RECTIFY_ELEVATION_DEG)
+    scale = 1.0 / math.cos(math.radians(elevation))
+    points = contour.points.copy()
+    mean_row = points[:, 0].mean()
+    points[:, 0] = (points[:, 0] - mean_row) * scale + mean_row
+    return Contour(points)
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessSettings:
+    """Tunables of the pre-processing stage."""
+
+    blur_sigma: float = 1.0
+    closing_radius: int = 1
+    min_component_area_px: int = 60
+    signature_length: int = 256
+    signature_kind: SignatureKind = SignatureKind.CENTROID_DISTANCE
+
+    def __post_init__(self) -> None:
+        if self.blur_sigma < 0:
+            raise ValueError("blur sigma must be non-negative")
+        if self.closing_radius < 0:
+            raise ValueError("closing radius must be non-negative")
+        if self.min_component_area_px < 1:
+            raise ValueError("minimum component area must be >= 1")
+        if self.signature_length < 8:
+            raise ValueError("signature length must be >= 8")
+
+
+@dataclass(frozen=True)
+class PreprocessResult:
+    """Everything the pre-processor extracted from one frame."""
+
+    silhouette: BinaryImage | None
+    contour: Contour | None
+    series: np.ndarray | None
+    reject_reason: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when a usable series was produced."""
+        return self.series is not None
+
+
+def preprocess_frame(
+    frame: Image,
+    settings: PreprocessSettings | None = None,
+    elevation_deg: float | None = None,
+) -> PreprocessResult:
+    """Run the full pre-processing chain on a grayscale *frame*.
+
+    Parameters
+    ----------
+    elevation_deg:
+        Camera elevation above the horizontal towards the signaller,
+        when known; enables perspective rectification.
+
+    Returns a :class:`PreprocessResult`; inspect ``reject_reason`` when
+    ``ok`` is false (no foreground, silhouette too small, degenerate
+    contour).
+    """
+    cfg = settings if settings is not None else PreprocessSettings()
+    smoothed = gaussian_blur(frame, cfg.blur_sigma) if cfg.blur_sigma > 0 else frame
+    mask = threshold_otsu(smoothed, foreground_dark=True)
+    if cfg.closing_radius > 0:
+        mask = closing(mask, cfg.closing_radius)
+    return _mask_to_result(mask, cfg, elevation_deg)
+
+
+def silhouette_to_series(
+    silhouette: BinaryImage,
+    settings: PreprocessSettings | None = None,
+    elevation_deg: float | None = None,
+) -> PreprocessResult:
+    """Shortcut used for clean (ground-truth) silhouettes: skip photometrics."""
+    cfg = settings if settings is not None else PreprocessSettings()
+    return _mask_to_result(silhouette, cfg, elevation_deg)
+
+
+def _mask_to_result(
+    mask: BinaryImage,
+    cfg: PreprocessSettings,
+    elevation_deg: float | None,
+) -> PreprocessResult:
+    component = largest_component(mask)
+    if component is None:
+        return PreprocessResult(None, None, None, reject_reason="no foreground")
+    if component.area < cfg.min_component_area_px:
+        return PreprocessResult(component.mask, None, None, reject_reason="silhouette too small")
+    contour = trace_outer_contour(component.mask)
+    if contour is None or len(contour) < 8:
+        return PreprocessResult(component.mask, None, None, reject_reason="degenerate contour")
+    if elevation_deg is not None:
+        contour = rectify_contour(contour, elevation_deg)
+    series = compute_signature(contour, cfg.signature_kind, cfg.signature_length)
+    return PreprocessResult(component.mask, contour, series)

@@ -1,0 +1,96 @@
+"""Gaussian breakpoints for SAX discretisation.
+
+SAX chooses its symbol boundaries as the quantiles of the standard
+normal distribution, so that (for z-normalised input) every symbol is
+equiprobable.  Breakpoints for the common alphabet sizes are tabulated;
+larger alphabets fall back to :func:`scipy.stats.norm.ppf` when SciPy is
+present and to an Acklam-style inverse-normal approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["gaussian_breakpoints", "MIN_ALPHABET", "MAX_ALPHABET"]
+
+MIN_ALPHABET = 2
+MAX_ALPHABET = 26  # symbols are lowercase letters 'a'..'z'
+
+# Tabulated N(0,1) quantiles, indexed by alphabet size (Lin et al. 2003).
+_TABLE: dict[int, tuple[float, ...]] = {
+    2: (0.0,),
+    3: (-0.4307273, 0.4307273),
+    4: (-0.6744898, 0.0, 0.6744898),
+    5: (-0.841621, -0.2533471, 0.2533471, 0.841621),
+    6: (-0.9674216, -0.4307273, 0.0, 0.4307273, 0.9674216),
+    7: (-1.0675705, -0.5659488, -0.1800124, 0.1800124, 0.5659488, 1.0675705),
+    8: (-1.1503494, -0.6744898, -0.3186394, 0.0, 0.3186394, 0.6744898, 1.1503494),
+    9: (-1.2206403, -0.7647097, -0.4307273, -0.1397103, 0.1397103, 0.4307273, 0.7647097, 1.2206403),
+    10: (
+        -1.2815516,
+        -0.841621,
+        -0.5244005,
+        -0.2533471,
+        0.0,
+        0.2533471,
+        0.5244005,
+        0.841621,
+        1.2815516,
+    ),
+}
+
+
+def _inverse_normal_cdf(p: float) -> float:
+    """Acklam's rational approximation to the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """Return the ``alphabet_size - 1`` breakpoints for SAX discretisation.
+
+    Raises
+    ------
+    ValueError
+        If *alphabet_size* is outside ``[MIN_ALPHABET, MAX_ALPHABET]``.
+    """
+    if not MIN_ALPHABET <= alphabet_size <= MAX_ALPHABET:
+        raise ValueError(
+            f"alphabet size must be in [{MIN_ALPHABET}, {MAX_ALPHABET}], got {alphabet_size}"
+        )
+    if alphabet_size in _TABLE:
+        return np.array(_TABLE[alphabet_size], dtype=np.float64)
+    probabilities = [i / alphabet_size for i in range(1, alphabet_size)]
+    try:
+        from scipy.stats import norm
+
+        return np.array([float(norm.ppf(p)) for p in probabilities])
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return np.array([_inverse_normal_cdf(p) for p in probabilities])

@@ -1,0 +1,206 @@
+"""The sign database: canonical SAX words + reference series.
+
+The paper: "This last step facilitates a comparison of the string
+against a database of strings and hence can be used quite effectively to
+identify features in images."  The database stores, per sign label, the
+canonical reference series (taken at 0° relative azimuth, per Section
+IV) and its SAX word; classification is nearest-neighbour under the
+rotation-invariant distance with a MINDIST pre-filter and an acceptance
+threshold — an unknown shape too far from every reference is rejected
+rather than misread, which is the safe behaviour for a safety-relevant
+channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sax.encoder import SaxEncoder, SaxParameters, SaxWord
+from repro.sax.matching import best_shift_euclidean, best_shift_mindist
+
+__all__ = ["SignEntry", "MatchResult", "SignDatabase"]
+
+
+@dataclass(frozen=True)
+class SignEntry:
+    """One reference view of a sign: label, series, SAX word, view tag."""
+
+    label: str
+    series: np.ndarray
+    word: SaxWord
+    view: str = "canonical"
+
+    def __post_init__(self) -> None:
+        series = np.asarray(self.series, dtype=np.float64)
+        series.setflags(write=False)
+        object.__setattr__(self, "series", series)
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of a database lookup."""
+
+    label: str | None
+    distance: float
+    runner_up_label: str | None = None
+    runner_up_distance: float = float("inf")
+
+    @property
+    def accepted(self) -> bool:
+        """``True`` when a sign was recognised (label not ``None``)."""
+        return self.label is not None
+
+    @property
+    def margin(self) -> float:
+        """Distance gap to the runner-up; large margins mean confident reads."""
+        if self.runner_up_distance == float("inf"):
+            return float("inf")
+        return self.runner_up_distance - self.distance
+
+
+class SignDatabase:
+    """Nearest-neighbour sign store over rotation-invariant distances.
+
+    A label may hold several reference *views* (the recogniser enrols
+    each sign at a handful of synthetic azimuths — see
+    ``repro.recognition.pipeline``); the label's score is the minimum
+    distance over its views.  A query is accepted when the best label is
+    both close enough (``acceptance_threshold``) and sufficiently better
+    than the runner-up label (``margin_threshold``) — borderline reads
+    are rejected rather than guessed, the safe behaviour for a
+    safety-relevant channel.
+
+    Parameters
+    ----------
+    parameters:
+        SAX parameters shared by all stored words.
+    acceptance_threshold:
+        Maximum per-sample-normalised rotation-invariant distance for a
+        match to be accepted.  Calibrated on the synthetic signaller
+        (see ``benchmarks/bench_dead_angle.py``).
+    margin_threshold:
+        Minimum distance gap between the best and second-best *labels*.
+    """
+
+    def __init__(
+        self,
+        parameters: SaxParameters | None = None,
+        acceptance_threshold: float = 0.55,
+        margin_threshold: float = 0.08,
+    ) -> None:
+        if acceptance_threshold <= 0:
+            raise ValueError("acceptance threshold must be positive")
+        if margin_threshold < 0:
+            raise ValueError("margin threshold must be non-negative")
+        self.encoder = SaxEncoder(parameters)
+        self.acceptance_threshold = acceptance_threshold
+        self.margin_threshold = margin_threshold
+        self._entries: dict[str, list[SignEntry]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(views) for views in self._entries.values())
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._entries
+
+    @property
+    def labels(self) -> list[str]:
+        """Stored sign labels in insertion order."""
+        return list(self._entries)
+
+    def add(self, label: str, series: np.ndarray, view: str = "canonical") -> SignEntry:
+        """Register a reference series under *label*.
+
+        Multiple calls with the same label accumulate views; re-adding an
+        existing ``(label, view)`` pair replaces that view.
+        """
+        values = np.asarray(series, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("expected a 1-D series")
+        if len(values) < self.encoder.parameters.word_length:
+            raise ValueError("series shorter than the SAX word length")
+        entry = SignEntry(
+            label=label, series=values.copy(), word=self.encoder.encode(values), view=view
+        )
+        views = self._entries.setdefault(label, [])
+        views[:] = [v for v in views if v.view != view]
+        views.append(entry)
+        return entry
+
+    def entries(self, label: str) -> list[SignEntry]:
+        """Return all views stored for *label*.
+
+        Raises
+        ------
+        KeyError
+            If the label is not stored.
+        """
+        return list(self._entries[label])
+
+    def entry(self, label: str) -> SignEntry:
+        """Return the first (canonical) view for *label*.
+
+        Raises
+        ------
+        KeyError
+            If the label is not stored.
+        """
+        return self._entries[label][0]
+
+    def classify(self, series: np.ndarray) -> MatchResult:
+        """Classify a query series against the database.
+
+        The per-sample-normalised distance (Euclidean over z-normalised
+        series divided by ``sqrt(n)``) must beat the acceptance threshold
+        and clear the runner-up label by the margin threshold; otherwise
+        ``label=None`` (rejected).
+        """
+        if not self._entries:
+            raise RuntimeError("sign database is empty")
+        query = np.asarray(series, dtype=np.float64)
+        if query.ndim != 1:
+            raise ValueError("expected a 1-D series")
+
+        query_word = self.encoder.encode(query)
+        n = len(query)
+        sqrt_n = np.sqrt(n)
+        scored: list[tuple[float, str]] = []
+        for label, views in self._entries.items():
+            best_for_label = float("inf")
+            for ref in views:
+                if len(ref.series) != n:
+                    raise ValueError(
+                        f"query length {n} != reference length {len(ref.series)} for {label!r}"
+                    )
+                # Cheap lower bound first; skip the exact match when the
+                # bound already exceeds any useful distance.
+                bound = best_shift_mindist(query_word, ref.word, n).distance / sqrt_n
+                if bound > self.acceptance_threshold * 2.0 and bound > best_for_label:
+                    continue
+                exact = best_shift_euclidean(query, ref.series).distance / sqrt_n
+                best_for_label = min(best_for_label, exact)
+            scored.append((best_for_label, label))
+
+        scored.sort(key=lambda pair: pair[0])
+        best_distance, best_label = scored[0]
+        runner_distance, runner_label = scored[1] if len(scored) > 1 else (float("inf"), None)
+        margin = runner_distance - best_distance
+        if best_distance > self.acceptance_threshold or margin < self.margin_threshold:
+            return MatchResult(
+                label=None,
+                distance=best_distance,
+                runner_up_label=best_label,
+                runner_up_distance=runner_distance,
+            )
+        return MatchResult(
+            label=best_label,
+            distance=best_distance,
+            runner_up_label=runner_label,
+            runner_up_distance=runner_distance,
+        )
+
+    def word_table(self) -> dict[str, str]:
+        """Return ``label -> canonical-view SAX word`` (uniqueness checks)."""
+        return {label: views[0].word.symbols for label, views in self._entries.items()}

@@ -1,0 +1,74 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+Reduces an ``n``-point series to ``w`` segment means.  This is the
+dimensionality-reduction step the paper calls out as making recognition
+"computationally cheap": after PAA, string conversion and matching touch
+only ``w`` values instead of the full contour resolution.
+
+The implementation handles ``w`` that does not divide ``n`` by assigning
+fractional pixel weight to boundary segments (the standard generalised
+PAA), so any (series length, segment count) combination is valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["paa", "paa_inverse"]
+
+
+def paa(series: np.ndarray, segments: int) -> np.ndarray:
+    """Return the PAA reduction of *series* to *segments* means.
+
+    Parameters
+    ----------
+    series:
+        1-D input series of length ``n >= segments``.
+    segments:
+        Number of output segments, ``1 <= segments <= n``.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("expected a 1-D series")
+    n = len(values)
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    if segments > n:
+        raise ValueError(f"cannot reduce a length-{n} series to {segments} segments")
+    if segments == n:
+        return values.copy()
+    if n % segments == 0:
+        return values.reshape(segments, n // segments).mean(axis=1)
+    # General case: distribute fractional weight across segment borders.
+    # Each output segment covers n/segments input "slots"; an input point
+    # overlapping two segments contributes proportionally to both.
+    out = np.zeros(segments)
+    width = n / segments
+    for k in range(segments):
+        lo = k * width
+        hi = (k + 1) * width
+        i0 = int(np.floor(lo))
+        i1 = int(np.ceil(hi))
+        total = 0.0
+        for i in range(i0, min(i1, n)):
+            overlap = min(hi, i + 1.0) - max(lo, float(i))
+            if overlap > 0:
+                total += values[i] * overlap
+        out[k] = total / width
+    return out
+
+
+def paa_inverse(reduced: np.ndarray, length: int) -> np.ndarray:
+    """Expand a PAA series back to *length* points (piecewise constant).
+
+    Used for visual comparison plots (Figure 4 style) and in tests of the
+    PAA mean-preservation property.
+    """
+    values = np.asarray(reduced, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("expected a 1-D series")
+    if length < len(values):
+        raise ValueError("target length must be >= number of segments")
+    segments = len(values)
+    indices = np.minimum((np.arange(length) * segments) // length, segments - 1)
+    return values[indices]

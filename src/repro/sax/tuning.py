@@ -1,0 +1,152 @@
+"""SAX parameter tuning: grid search and harmony search.
+
+The paper notes that even "with tuning of the piecewise aggregation and
+alphabet size [22]" recognition stays erratic beyond 65° azimuth; [22]
+is a *harmony search* over SAX parameters.  This module implements both
+an exhaustive grid search and a compact harmony-search metaheuristic so
+the claim can be reproduced: tuning improves in-envelope accuracy but
+does not rescue the dead angle (see ``benchmarks/bench_ablation_sax_params.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.sax.breakpoints import MAX_ALPHABET, MIN_ALPHABET
+from repro.sax.encoder import SaxParameters
+
+__all__ = ["TuningResult", "grid_search", "harmony_search", "HarmonySearchConfig"]
+
+# An objective maps candidate parameters to a score (higher is better).
+Objective = Callable[[SaxParameters], float]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Best parameters found plus the full evaluation trace."""
+
+    best: SaxParameters
+    best_score: float
+    evaluations: tuple[tuple[SaxParameters, float], ...]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of objective evaluations performed."""
+        return len(self.evaluations)
+
+
+def grid_search(
+    objective: Objective,
+    word_lengths: Sequence[int],
+    alphabet_sizes: Sequence[int],
+) -> TuningResult:
+    """Exhaustively evaluate the given parameter grid.
+
+    Ties are broken towards *smaller* words and alphabets (cheaper to
+    match on the drone), matching the paper's cost-consciousness.
+    """
+    if not word_lengths or not alphabet_sizes:
+        raise ValueError("grid axes must be non-empty")
+    trace: list[tuple[SaxParameters, float]] = []
+    best: SaxParameters | None = None
+    best_score = float("-inf")
+    # Iterate cheapest-first so ties keep the cheaper configuration.
+    for w in sorted(word_lengths):
+        for a in sorted(alphabet_sizes):
+            params = SaxParameters(word_length=w, alphabet_size=a)
+            score = objective(params)
+            trace.append((params, score))
+            if score > best_score:
+                best, best_score = params, score
+    assert best is not None
+    return TuningResult(best=best, best_score=best_score, evaluations=tuple(trace))
+
+
+@dataclass(frozen=True, slots=True)
+class HarmonySearchConfig:
+    """Hyper-parameters of the harmony search (after Alshareef et al. [22])."""
+
+    memory_size: int = 8
+    iterations: int = 60
+    consideration_rate: float = 0.9  # HMCR: reuse a remembered value
+    adjustment_rate: float = 0.3  # PAR: pitch-adjust a remembered value
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory_size < 2:
+            raise ValueError("memory size must be >= 2")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 <= self.consideration_rate <= 1.0:
+            raise ValueError("consideration rate must be in [0, 1]")
+        if not 0.0 <= self.adjustment_rate <= 1.0:
+            raise ValueError("adjustment rate must be in [0, 1]")
+
+
+def harmony_search(
+    objective: Objective,
+    word_length_range: tuple[int, int] = (8, 64),
+    alphabet_range: tuple[int, int] = (3, 10),
+    config: HarmonySearchConfig | None = None,
+) -> TuningResult:
+    """Run a harmony search over SAX parameters.
+
+    Each "harmony" is a (word length, alphabet size) pair.  New harmonies
+    either recombine values from the harmony memory (with probability
+    HMCR, possibly pitch-adjusted by ±1 step with probability PAR) or are
+    drawn uniformly at random; the worst memory entry is replaced when
+    the new harmony beats it.
+    """
+    cfg = config if config is not None else HarmonySearchConfig()
+    w_lo, w_hi = word_length_range
+    a_lo, a_hi = alphabet_range
+    if w_lo < 1 or w_hi < w_lo:
+        raise ValueError("invalid word length range")
+    if a_lo < MIN_ALPHABET or a_hi > MAX_ALPHABET or a_hi < a_lo:
+        raise ValueError("invalid alphabet range")
+
+    rng = random.Random(cfg.seed)
+    trace: list[tuple[SaxParameters, float]] = []
+
+    def evaluate(params: SaxParameters) -> float:
+        score = objective(params)
+        trace.append((params, score))
+        return score
+
+    memory: list[tuple[float, SaxParameters]] = []
+    seen: set[tuple[int, int]] = set()
+    while len(memory) < cfg.memory_size:
+        params = SaxParameters(
+            word_length=rng.randint(w_lo, w_hi),
+            alphabet_size=rng.randint(a_lo, a_hi),
+        )
+        key = (params.word_length, params.alphabet_size)
+        if key in seen and len(seen) < (w_hi - w_lo + 1) * (a_hi - a_lo + 1):
+            continue
+        seen.add(key)
+        memory.append((evaluate(params), params))
+    memory.sort(key=lambda pair: pair[0], reverse=True)
+
+    def improvise_component(values: list[int], lo: int, hi: int) -> int:
+        if rng.random() < cfg.consideration_rate:
+            value = rng.choice(values)
+            if rng.random() < cfg.adjustment_rate:
+                value += rng.choice((-1, 1))
+            return max(lo, min(hi, value))
+        return rng.randint(lo, hi)
+
+    for _ in range(cfg.iterations):
+        new_params = SaxParameters(
+            word_length=improvise_component([p.word_length for _, p in memory], w_lo, w_hi),
+            alphabet_size=improvise_component([p.alphabet_size for _, p in memory], a_lo, a_hi),
+        )
+        new_score = evaluate(new_params)
+        worst_score, _ = memory[-1]
+        if new_score > worst_score:
+            memory[-1] = (new_score, new_params)
+            memory.sort(key=lambda pair: pair[0], reverse=True)
+
+    best_score, best = memory[0]
+    return TuningResult(best=best, best_score=best_score, evaluations=tuple(trace))

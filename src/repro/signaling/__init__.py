@@ -1,0 +1,59 @@
+"""Drone-to-human light signalling (paper Section II, Figure 1).
+
+The 10-LED all-round ring with FAA-style direction colouring and the
+all-red danger default; the deprecated vertical take-off/landing array;
+the animation engine pairing light scripts with flight patterns; and
+the luminosity/visibility model for the paper's open power question.
+"""
+
+from repro.signaling.animation import (
+    AnimationScript,
+    Keyframe,
+    RingAnimator,
+    danger_flash_script,
+)
+from repro.signaling.color import LightColor, Rgb
+from repro.signaling.led import LedFault, TriColourLed
+from repro.signaling.ring import (
+    NAV_SIDE_ARC_DEG,
+    AllRoundLightRing,
+    RingMode,
+    RingSnapshot,
+)
+from repro.signaling.vertical import (
+    DeprecatedComponentWarning,
+    VerticalAnimation,
+    VerticalLedArray,
+)
+from repro.signaling.visibility import (
+    DAYLIGHT,
+    DUSK,
+    OVERCAST,
+    AmbientCondition,
+    VisibilityModel,
+    high_luminosity_model,
+)
+
+__all__ = [
+    "AnimationScript",
+    "Keyframe",
+    "RingAnimator",
+    "danger_flash_script",
+    "LightColor",
+    "Rgb",
+    "LedFault",
+    "TriColourLed",
+    "NAV_SIDE_ARC_DEG",
+    "AllRoundLightRing",
+    "RingMode",
+    "RingSnapshot",
+    "DeprecatedComponentWarning",
+    "VerticalAnimation",
+    "VerticalLedArray",
+    "DAYLIGHT",
+    "DUSK",
+    "OVERCAST",
+    "AmbientCondition",
+    "VisibilityModel",
+    "high_luminosity_model",
+]

@@ -1,0 +1,135 @@
+"""Ring animation engine: scripted light sequences over simulation time.
+
+Flight patterns pair trajectories with light behaviour (e.g. landing
+extinguishes the ring only after the rotors stop — Figure 2).  An
+:class:`AnimationScript` is a time-ordered list of keyframes applied to
+an :class:`~repro.signaling.ring.AllRoundLightRing` as the clock
+advances; the engine is deliberately dumb (no easing) because the ring
+is a signalling device, not a display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.signaling.ring import AllRoundLightRing, RingMode
+
+__all__ = ["Keyframe", "AnimationScript", "RingAnimator"]
+
+# A keyframe action mutates the ring (e.g. ring.trigger_safety).
+Action = Callable[[AllRoundLightRing], None]
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """One scheduled ring action."""
+
+    at_time_s: float
+    action: Action
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at_time_s < 0:
+            raise ValueError("keyframe time must be non-negative")
+
+
+@dataclass
+class AnimationScript:
+    """An ordered collection of keyframes."""
+
+    keyframes: list[Keyframe] = field(default_factory=list)
+
+    def add(self, at_time_s: float, action: Action, label: str = "") -> "AnimationScript":
+        """Append a keyframe; returns ``self`` for chaining."""
+        self.keyframes.append(Keyframe(at_time_s=at_time_s, action=action, label=label))
+        self.keyframes.sort(key=lambda k: k.at_time_s)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last keyframe (0 when empty)."""
+        if not self.keyframes:
+            return 0.0
+        return self.keyframes[-1].at_time_s
+
+    @staticmethod
+    def blink(
+        mode_on: Action,
+        mode_off: Action,
+        period_s: float,
+        repeats: int,
+        start_s: float = 0.0,
+    ) -> "AnimationScript":
+        """Build an on/off blink script (used by the "poke" pattern)."""
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        script = AnimationScript()
+        half = period_s / 2.0
+        for k in range(repeats):
+            t0 = start_s + k * period_s
+            script.add(t0, mode_on, label=f"blink-on-{k}")
+            script.add(t0 + half, mode_off, label=f"blink-off-{k}")
+        return script
+
+
+class RingAnimator:
+    """Applies an :class:`AnimationScript` to a ring as time advances.
+
+    The animator is driven by repeated :meth:`advance_to` calls with the
+    simulation clock; keyframes are applied at most once, in order.
+    """
+
+    def __init__(self, ring: AllRoundLightRing, script: AnimationScript) -> None:
+        self.ring = ring
+        self.script = script
+        self._next_index = 0
+        self._applied: list[Keyframe] = []
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once every keyframe has been applied."""
+        return self._next_index >= len(self.script.keyframes)
+
+    @property
+    def applied_labels(self) -> list[str]:
+        """Labels of keyframes applied so far (in application order)."""
+        return [k.label for k in self._applied]
+
+    def advance_to(self, time_s: float) -> int:
+        """Apply all keyframes due at or before *time_s*.
+
+        Returns the number of keyframes applied by this call.  Time must
+        be monotonically non-decreasing across calls.
+        """
+        if self._applied and time_s < self._applied[-1].at_time_s:
+            raise ValueError("animation time must not go backwards")
+        applied_now = 0
+        frames = self.script.keyframes
+        while self._next_index < len(frames) and frames[self._next_index].at_time_s <= time_s:
+            frame = frames[self._next_index]
+            frame.action(self.ring)
+            self._applied.append(frame)
+            self._next_index += 1
+            applied_now += 1
+        return applied_now
+
+    def reset(self) -> None:
+        """Rewind the animator (the ring keeps its current state)."""
+        self._next_index = 0
+        self._applied.clear()
+
+
+def danger_flash_script(period_s: float = 0.5, repeats: int = 6) -> AnimationScript:
+    """A conspicuous danger flash: alternate DANGER and OFF."""
+    return AnimationScript.blink(
+        mode_on=lambda ring: ring.trigger_safety(),
+        mode_off=lambda ring: ring.extinguish(),
+        period_s=period_s,
+        repeats=repeats,
+    )
+
+
+__all__.append("danger_flash_script")

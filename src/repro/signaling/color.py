@@ -1,0 +1,70 @@
+"""Colours for the drone's signalling lights.
+
+The paper's ring uses tri-colour (red / green / white) LEDs following
+FAA Part 107-style navigation conventions; red doubles as the danger
+colour ("the ring can be turned to all red should a safety function be
+triggered", citing the implicit red-danger association [15]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Rgb", "LightColor"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rgb:
+    """An 8-bit RGB triple."""
+
+    r: int
+    g: int
+    b: int
+
+    def __post_init__(self) -> None:
+        for channel in (self.r, self.g, self.b):
+            if not 0 <= channel <= 255:
+                raise ValueError("RGB channels must be in [0, 255]")
+
+    def scaled(self, brightness: float) -> "Rgb":
+        """Return the colour dimmed by *brightness* in ``[0, 1]``."""
+        if not 0.0 <= brightness <= 1.0:
+            raise ValueError("brightness must be in [0, 1]")
+        return Rgb(
+            int(round(self.r * brightness)),
+            int(round(self.g * brightness)),
+            int(round(self.b * brightness)),
+        )
+
+    def luminance(self) -> float:
+        """Return the relative luminance (Rec. 709 weights), in ``[0, 1]``."""
+        return (0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b) / 255.0
+
+
+class LightColor(Enum):
+    """The tri-colour LED states plus OFF."""
+
+    OFF = Rgb(0, 0, 0)
+    RED = Rgb(255, 0, 0)
+    GREEN = Rgb(0, 255, 0)
+    WHITE = Rgb(255, 255, 255)
+
+    @property
+    def rgb(self) -> Rgb:
+        """The RGB value of this state."""
+        return self.value
+
+    @property
+    def is_lit(self) -> bool:
+        """``True`` unless the LED is off."""
+        return self is not LightColor.OFF
+
+    def glyph(self) -> str:
+        """Single-character rendering for terminal displays."""
+        return {
+            LightColor.OFF: ".",
+            LightColor.RED: "R",
+            LightColor.GREEN: "G",
+            LightColor.WHITE: "W",
+        }[self]

@@ -1,0 +1,204 @@
+"""The all-round light ring (paper Figure 1).
+
+"Based on FAA regulations, a ring with 10 tri-colour light emitting
+diodes was constructed and attached to the experimental drone.
+Depending on the direction of controlled flight, the position of red,
+green and white lighting will change.  The ring can be turned to all red
+should a safety function be triggered, which can be achieved as a
+default setting."
+
+The colour geometry follows aircraft navigation-light arcs: green over
+the starboard 110° arc, red over the port 110° arc, white across the
+remaining 140° tail arc — rotated so the arcs stay aligned with the
+*course* (direction of controlled flight), not the airframe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.geometry.rotation import degrees_difference, wrap_degrees
+from repro.signaling.color import LightColor
+from repro.signaling.led import TriColourLed
+
+__all__ = ["RingMode", "RingSnapshot", "AllRoundLightRing", "NAV_SIDE_ARC_DEG"]
+
+DEFAULT_LED_COUNT = 10
+
+# Aircraft navigation-light arcs: each side light covers 110 degrees
+# from dead ahead; the tail light covers the remaining 140 degrees.
+NAV_SIDE_ARC_DEG = 110.0
+
+
+class RingMode(Enum):
+    """Operating mode of the ring."""
+
+    OFF = auto()  # rotors off / landed: all dark (Figure 2, step 3)
+    NAVIGATION = auto()  # direction-coded red/green/white (Figure 1, bottom)
+    DANGER = auto()  # all red (Figure 1, top) — the safe default
+    ALL_GREEN = auto()  # proposed "all clear"; the paper found no consensus
+
+
+@dataclass(frozen=True)
+class RingSnapshot:
+    """Immutable view of the ring state at one instant."""
+
+    mode: RingMode
+    course_deg: float
+    colors: tuple[LightColor, ...]
+
+    def glyphs(self) -> str:
+        """Compact string rendering, LED 0 first (e.g. ``'GGGWWWRRRG'``)."""
+        return "".join(c.glyph() for c in self.colors)
+
+    def count(self, color: LightColor) -> int:
+        """Number of LEDs currently showing *color*."""
+        return sum(1 for c in self.colors if c is color)
+
+
+class AllRoundLightRing:
+    """The 10-LED all-round signalling ring.
+
+    Parameters
+    ----------
+    led_count:
+        Number of LEDs, evenly spaced; LED ``i`` sits at body-relative
+        bearing ``360 * i / led_count`` degrees (0 = airframe nose,
+        clockwise viewed from above).
+    danger_is_default:
+        Paper Section II: danger (all red) "can be achieved as a default
+        setting" — when ``True`` (default) the ring powers up in DANGER
+        and any :meth:`fault` call also forces DANGER.
+
+    Examples
+    --------
+    >>> ring = AllRoundLightRing()
+    >>> ring.set_navigation(course_deg=0.0)
+    >>> ring.snapshot().count(LightColor.WHITE)
+    4
+    >>> ring.trigger_safety()
+    >>> ring.snapshot().glyphs()
+    'RRRRRRRRRR'
+    """
+
+    def __init__(self, led_count: int = DEFAULT_LED_COUNT, danger_is_default: bool = True) -> None:
+        if led_count < 3:
+            raise ValueError("the ring needs at least three LEDs")
+        self.leds = [TriColourLed(index=i) for i in range(led_count)]
+        self._mode = RingMode.DANGER if danger_is_default else RingMode.OFF
+        self._course_deg = 0.0
+        self._heading_deg = 0.0
+        self._apply()
+
+    @property
+    def led_count(self) -> int:
+        """Number of LEDs on the ring."""
+        return len(self.leds)
+
+    @property
+    def mode(self) -> RingMode:
+        """Current operating mode."""
+        return self._mode
+
+    def led_bearing_deg(self, index: int) -> float:
+        """Return LED *index*'s body-relative bearing in degrees."""
+        if not 0 <= index < self.led_count:
+            raise IndexError(f"LED index {index} out of range")
+        return 360.0 * index / self.led_count
+
+    def set_heading(self, heading_deg: float) -> None:
+        """Update the airframe heading (degrees clockwise from north).
+
+        The ring is body-fixed, so the world-frame course must be
+        re-expressed relative to the airframe each time either changes.
+        """
+        self._heading_deg = wrap_degrees(heading_deg)
+        self._apply()
+
+    def set_navigation(self, course_deg: float) -> None:
+        """Enter NAVIGATION mode for a controlled flight on *course_deg*.
+
+        The course is the world-frame direction of controlled flight in
+        degrees clockwise from north — the paper signals *intent*, which
+        is why the flight controller (not an IMU) feeds this value.
+        """
+        self._mode = RingMode.NAVIGATION
+        self._course_deg = wrap_degrees(course_deg)
+        self._apply()
+
+    def trigger_safety(self) -> None:
+        """Force DANGER mode: all LEDs red (Figure 1, top)."""
+        self._mode = RingMode.DANGER
+        self._apply()
+
+    def set_all_green(self) -> None:
+        """Enter the tentative ALL_GREEN ("all clear") mode.
+
+        The paper reports "no consensus on whether an all-green ring
+        would find application"; the mode exists so field trials can
+        evaluate it, but nothing in the protocol layer uses it.
+        """
+        self._mode = RingMode.ALL_GREEN
+        self._apply()
+
+    def extinguish(self) -> None:
+        """Turn every LED off (landing complete, rotors stopped)."""
+        self._mode = RingMode.OFF
+        self._apply()
+
+    def snapshot(self) -> RingSnapshot:
+        """Return an immutable view of the current LED colours."""
+        return RingSnapshot(
+            mode=self._mode,
+            course_deg=self._course_deg,
+            colors=tuple(led.color for led in self.leds),
+        )
+
+    def power_draw_mw(self) -> float:
+        """Return the ring's total electrical draw in milliwatts."""
+        return sum(led.power_draw_mw() for led in self.leds)
+
+    def navigation_color_for_bearing(self, relative_bearing_deg: float) -> LightColor:
+        """Return the navigation colour for a course-relative bearing.
+
+        Positive bearings are starboard of the course.  The starboard
+        arc ``[0, +110)`` is green, the port arc ``[-110, 0)`` red, and
+        the remaining tail arc white.
+        """
+        delta = degrees_difference(relative_bearing_deg, 0.0)
+        if 0.0 <= delta < NAV_SIDE_ARC_DEG:
+            return LightColor.GREEN
+        if -NAV_SIDE_ARC_DEG <= delta < 0.0:
+            return LightColor.RED
+        return LightColor.WHITE
+
+    def _apply(self) -> None:
+        """Drive every LED according to the current mode."""
+        if self._mode is RingMode.OFF:
+            for led in self.leds:
+                led.off()
+            return
+        if self._mode is RingMode.DANGER:
+            self._set_all(LightColor.RED)
+            return
+        if self._mode is RingMode.ALL_GREEN:
+            self._set_all(LightColor.GREEN)
+            return
+        # NAVIGATION: colour arcs aligned with the course over ground.
+        course_relative_to_body = self._course_deg - self._heading_deg
+        for led in self.leds:
+            bearing_from_course = self.led_bearing_deg(led.index) - course_relative_to_body
+            color = self.navigation_color_for_bearing(bearing_from_course)
+            if not led.failed:
+                led.set(color)
+
+    def _set_all(self, color: LightColor) -> None:
+        for led in self.leds:
+            if not led.failed:
+                led.set(color)
+
+    def healthy_fraction(self) -> float:
+        """Return the fraction of LEDs that have not failed."""
+        working = sum(1 for led in self.leds if not led.failed)
+        return working / self.led_count

@@ -1,0 +1,109 @@
+"""The vertical take-off/landing LED array — implemented, then deprecated.
+
+Paper Section II: "An additional, vertical, LED array was added to
+indicate whether the drone was taking off (animation from bottom to top)
+or landing (top to bottom) but user-feedback indicated that they are
+difficult to distinguish, do not serve clarity, indeed serve to confuse,
+and so will be discarded in future versions."
+
+We keep the component (disabled by default) because reproducing the
+paper includes reproducing the *negative* finding: a test demonstrates
+that under realistic observation (frame sampling at a handful of Hz) the
+rising and falling animations produce nearly indistinguishable frame
+sequences — the confusability that drove the discard decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.signaling.color import LightColor
+from repro.signaling.led import TriColourLed
+
+__all__ = ["VerticalAnimation", "VerticalLedArray", "DeprecatedComponentWarning"]
+
+DEFAULT_SEGMENTS = 6
+
+
+class DeprecatedComponentWarning(UserWarning):
+    """Warning raised when enabling the discarded vertical array."""
+
+
+class VerticalAnimation(Enum):
+    """Animation direction of the vertical array."""
+
+    OFF = auto()
+    TAKEOFF = auto()  # chase bottom → top
+    LANDING = auto()  # chase top → bottom
+
+
+@dataclass
+class VerticalLedArray:
+    """A vertical strip of LEDs on the landing legs.
+
+    LED 0 is at the bottom (closest to the ground).  One LED is lit at a
+    time and the lit position "chases" upward (take-off) or downward
+    (landing) at ``chase_rate_hz`` steps per second.
+    """
+
+    segments: int = DEFAULT_SEGMENTS
+    chase_rate_hz: float = 4.0
+    enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.segments < 2:
+            raise ValueError("need at least two vertical segments")
+        if self.chase_rate_hz <= 0:
+            raise ValueError("chase rate must be positive")
+        self.leds = [TriColourLed(index=i) for i in range(self.segments)]
+        self._animation = VerticalAnimation.OFF
+
+    def enable(self) -> None:
+        """Enable the deprecated component (emits a deprecation warning)."""
+        import warnings
+
+        warnings.warn(
+            "the vertical LED array was discarded after user feedback "
+            "(paper Section II); enable only for comparison studies",
+            DeprecatedComponentWarning,
+            stacklevel=2,
+        )
+        self.enabled = True
+
+    def set_animation(self, animation: VerticalAnimation) -> None:
+        """Select the current animation (no effect while disabled)."""
+        self._animation = animation
+
+    @property
+    def animation(self) -> VerticalAnimation:
+        """Currently selected animation."""
+        return self._animation
+
+    def lit_index_at(self, time_s: float) -> int | None:
+        """Return which LED is lit at *time_s*, or ``None`` when dark."""
+        if not self.enabled or self._animation is VerticalAnimation.OFF:
+            return None
+        step = int(time_s * self.chase_rate_hz) % self.segments
+        if self._animation is VerticalAnimation.TAKEOFF:
+            return step
+        return self.segments - 1 - step
+
+    def frame_at(self, time_s: float) -> tuple[LightColor, ...]:
+        """Return the colour of every LED at *time_s* (white chase)."""
+        lit = self.lit_index_at(time_s)
+        return tuple(
+            LightColor.WHITE if i == lit else LightColor.OFF for i in range(self.segments)
+        )
+
+    def sampled_sequence(self, duration_s: float, sample_hz: float) -> list[int | None]:
+        """Return the lit index sampled at *sample_hz* for *duration_s*.
+
+        This models a human (or camera) glancing at the strip a few times
+        per second; the confusability test compares the TAKEOFF and
+        LANDING sequences under this sampling.
+        """
+        if duration_s <= 0 or sample_hz <= 0:
+            raise ValueError("duration and sample rate must be positive")
+        n = int(duration_s * sample_hz)
+        return [self.lit_index_at(k / sample_hz) for k in range(n)]

@@ -1,0 +1,107 @@
+"""Luminosity vs. distance: when can a human see the ring?
+
+Paper Section II: "Power requirements with respect to illumination
+distance is an issue that needs further consideration.  There is obvious
+scope for optimisation by the use of separate high luminosity LEDs."
+
+This model turns LED drive power into the maximum distance at which the
+light is distinguishable in a given ambient illuminance, using a plain
+inverse-square law plus a contrast threshold.  It exists to let the
+benchmarks quantify the trade-off the paper only names: indicator-class
+LEDs are marginal in daylight at the paper's working distances, while
+"high luminosity" parts clear them comfortably.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AmbientCondition", "VisibilityModel", "DAYLIGHT", "OVERCAST", "DUSK"]
+
+# Typical luminous efficacy of a red indicator LED, lumens per electrical watt.
+INDICATOR_EFFICACY_LM_PER_W = 30.0
+HIGH_LUMINOSITY_EFFICACY_LM_PER_W = 110.0
+
+
+@dataclass(frozen=True, slots=True)
+class AmbientCondition:
+    """Ambient light level and the contrast needed to notice a point source."""
+
+    name: str
+    ambient_lux: float
+    # Minimum illuminance a point source must add at the eye to be
+    # conspicuous against the ambient level (Allard-law style threshold).
+    threshold_lux: float
+
+    def __post_init__(self) -> None:
+        if self.ambient_lux < 0 or self.threshold_lux <= 0:
+            raise ValueError("illuminance values must be positive")
+
+
+DAYLIGHT = AmbientCondition(name="daylight", ambient_lux=50_000.0, threshold_lux=2e-3)
+OVERCAST = AmbientCondition(name="overcast", ambient_lux=5_000.0, threshold_lux=5e-4)
+DUSK = AmbientCondition(name="dusk", ambient_lux=50.0, threshold_lux=2e-5)
+
+
+@dataclass(frozen=True, slots=True)
+class VisibilityModel:
+    """Visibility of one LED as a point source.
+
+    Parameters
+    ----------
+    efficacy_lm_per_w:
+        Luminous efficacy of the LED (lumens per electrical watt).
+    beam_solid_angle_sr:
+        Solid angle the LED radiates into; an unlensed indicator LED is
+        roughly a hemisphere (``2*pi``), a lensed high-luminosity part
+        concentrates into less.
+    """
+
+    efficacy_lm_per_w: float = INDICATOR_EFFICACY_LM_PER_W
+    beam_solid_angle_sr: float = 2.0 * math.pi
+
+    def __post_init__(self) -> None:
+        if self.efficacy_lm_per_w <= 0:
+            raise ValueError("efficacy must be positive")
+        if not 0.0 < self.beam_solid_angle_sr <= 4.0 * math.pi:
+            raise ValueError("beam solid angle must be in (0, 4*pi]")
+
+    def luminous_intensity_cd(self, drive_power_w: float) -> float:
+        """Return the luminous intensity (candela) at *drive_power_w*."""
+        if drive_power_w < 0:
+            raise ValueError("power must be non-negative")
+        return drive_power_w * self.efficacy_lm_per_w / self.beam_solid_angle_sr
+
+    def illuminance_at(self, drive_power_w: float, distance_m: float) -> float:
+        """Return the illuminance (lux) the LED adds at *distance_m*."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        return self.luminous_intensity_cd(drive_power_w) / distance_m**2
+
+    def max_visible_distance_m(
+        self, drive_power_w: float, condition: AmbientCondition
+    ) -> float:
+        """Return the furthest distance at which the LED is conspicuous."""
+        intensity = self.luminous_intensity_cd(drive_power_w)
+        if intensity <= 0:
+            return 0.0
+        return math.sqrt(intensity / condition.threshold_lux)
+
+    def required_power_w(self, distance_m: float, condition: AmbientCondition) -> float:
+        """Return the drive power needed to be conspicuous at *distance_m*."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        needed_intensity = condition.threshold_lux * distance_m**2
+        return needed_intensity * self.beam_solid_angle_sr / self.efficacy_lm_per_w
+
+
+def high_luminosity_model() -> VisibilityModel:
+    """Return the model for the paper's suggested 'high luminosity' upgrade."""
+    return VisibilityModel(
+        efficacy_lm_per_w=HIGH_LUMINOSITY_EFFICACY_LM_PER_W,
+        beam_solid_angle_sr=math.pi,  # lensed to ~60 degrees half-angle
+    )
+
+
+__all__.append("high_luminosity_model")

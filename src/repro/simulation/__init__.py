@@ -1,0 +1,35 @@
+"""Drone simulator substrate.
+
+Fixed-step world with wind, battery, simplified multirotor dynamics,
+sensors and an event system — the stand-in for the paper's Yuneec H520
+test vehicle (see DESIGN.md, substitution table).
+"""
+
+from repro.simulation.battery import HOVER_POWER_W, Battery, BatteryDepleted
+from repro.simulation.body import BodyLimits, BodyState, MultirotorBody
+from repro.simulation.clock import SimClock
+from repro.simulation.events import EventLog, EventQueue, SimEvent
+from repro.simulation.sensors import CameraMount, StateEstimator
+from repro.simulation.wind import CalmWind, GustEpisode, WindModel
+from repro.simulation.world import Entity, StaticObstacle, World
+
+__all__ = [
+    "HOVER_POWER_W",
+    "Battery",
+    "BatteryDepleted",
+    "BodyLimits",
+    "BodyState",
+    "MultirotorBody",
+    "SimClock",
+    "EventLog",
+    "EventQueue",
+    "SimEvent",
+    "CameraMount",
+    "StateEstimator",
+    "CalmWind",
+    "GustEpisode",
+    "WindModel",
+    "Entity",
+    "StaticObstacle",
+    "World",
+]

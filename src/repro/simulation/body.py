@@ -1,0 +1,166 @@
+"""Simplified multirotor rigid-body dynamics.
+
+A velocity-command model: the flight controller outputs a desired
+velocity and yaw rate; the airframe responds with first-order lags and
+hard acceleration/speed limits, and drifts with the wind.  This skips
+attitude dynamics (we never need roll/pitch for the paper's claims) but
+keeps the properties the flight patterns and their classifier depend on:
+finite acceleration, overshoot-free convergence and wind disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rotation import degrees_difference, wrap_degrees
+from repro.geometry.vec import Vec3
+
+__all__ = ["BodyLimits", "BodyState", "MultirotorBody"]
+
+
+@dataclass(frozen=True, slots=True)
+class BodyLimits:
+    """Performance envelope of the airframe (H520-class defaults)."""
+
+    max_horizontal_speed_mps: float = 13.0
+    max_vertical_speed_mps: float = 2.5
+    max_acceleration_mps2: float = 4.0
+    max_yaw_rate_dps: float = 120.0
+    velocity_time_constant_s: float = 0.35
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_horizontal_speed_mps",
+            "max_vertical_speed_mps",
+            "max_acceleration_mps2",
+            "max_yaw_rate_dps",
+            "velocity_time_constant_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass
+class BodyState:
+    """Kinematic state of the airframe."""
+
+    position: Vec3 = field(default_factory=Vec3)
+    velocity: Vec3 = field(default_factory=Vec3)
+    heading_deg: float = 0.0
+    on_ground: bool = True
+    rotors_on: bool = False
+
+    def ground_speed(self) -> float:
+        """Horizontal speed over ground, m/s."""
+        return self.velocity.horizontal().norm()
+
+    def course_deg(self) -> float | None:
+        """Direction of travel (degrees from north), ``None`` when hovering."""
+        horizontal = self.velocity.horizontal()
+        if horizontal.norm() < 0.1:
+            return None
+        import math
+
+        return wrap_degrees(90.0 - math.degrees(horizontal.angle()))
+
+
+class MultirotorBody:
+    """The simulated airframe.
+
+    Commands are *desired* velocity / yaw rate; :meth:`step` integrates
+    the response.  The body refuses to fly with rotors off and clamps
+    altitude at the ground (with velocity zeroed on touchdown).
+    """
+
+    def __init__(self, limits: BodyLimits | None = None, state: BodyState | None = None) -> None:
+        self.limits = limits if limits is not None else BodyLimits()
+        self.state = state if state is not None else BodyState()
+        self._commanded_velocity = Vec3()
+        self._commanded_yaw_rate_dps = 0.0
+
+    def start_rotors(self) -> None:
+        """Spin up (required before any motion)."""
+        self.state.rotors_on = True
+
+    def stop_rotors(self) -> None:
+        """Shut down; only legal on the ground.
+
+        Raises
+        ------
+        RuntimeError
+            If called while airborne — the simulator refuses to model a
+            free-falling drone; land first.
+        """
+        if not self.state.on_ground:
+            raise RuntimeError("cannot stop rotors while airborne")
+        self.state.rotors_on = False
+        self._commanded_velocity = Vec3()
+        self._commanded_yaw_rate_dps = 0.0
+
+    def command_velocity(self, velocity: Vec3) -> None:
+        """Set the desired velocity (clamped to the envelope)."""
+        horizontal = velocity.horizontal()
+        h_speed = horizontal.norm()
+        if h_speed > self.limits.max_horizontal_speed_mps:
+            horizontal = horizontal * (self.limits.max_horizontal_speed_mps / h_speed)
+        v_speed = max(
+            -self.limits.max_vertical_speed_mps,
+            min(self.limits.max_vertical_speed_mps, velocity.z),
+        )
+        self._commanded_velocity = Vec3(horizontal.x, horizontal.y, v_speed)
+
+    def command_yaw_rate(self, yaw_rate_dps: float) -> None:
+        """Set the desired yaw rate (clamped to the envelope)."""
+        self._commanded_yaw_rate_dps = max(
+            -self.limits.max_yaw_rate_dps,
+            min(self.limits.max_yaw_rate_dps, yaw_rate_dps),
+        )
+
+    def command_heading(self, heading_deg: float, dt: float) -> None:
+        """Steer towards *heading_deg* with a proportional yaw command."""
+        error = degrees_difference(heading_deg, self.state.heading_deg)
+        # Reach the target in ~0.5 s, subject to the yaw rate limit.
+        self.command_yaw_rate(error / max(0.5, 2.0 * dt))
+
+    def step(self, dt: float, wind_velocity: Vec3 = Vec3()) -> None:
+        """Integrate one time step of *dt* seconds."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        state = self.state
+        if not state.rotors_on:
+            # Parked: nothing moves.
+            return
+
+        # First-order velocity response towards command, with accel limit.
+        # Wind enters as an additive disturbance the controller only
+        # partially rejects (30% feed-through, a low-cost-GPS figure).
+        wind_feedthrough = 0.3
+        target = self._commanded_velocity + wind_velocity * wind_feedthrough
+        alpha = min(1.0, dt / self.limits.velocity_time_constant_s)
+        desired_delta = (target - state.velocity) * alpha
+        max_delta = self.limits.max_acceleration_mps2 * dt
+        delta_norm = desired_delta.norm()
+        if delta_norm > max_delta:
+            desired_delta = desired_delta * (max_delta / delta_norm)
+        state.velocity = state.velocity + desired_delta
+
+        # Integrate position; clamp at ground level.
+        new_position = state.position + state.velocity * dt
+        if new_position.z <= 0.0:
+            new_position = new_position.with_z(0.0)
+            if state.velocity.z < 0.0:
+                state.velocity = Vec3(state.velocity.x, state.velocity.y, 0.0)
+            state.on_ground = True
+        else:
+            state.on_ground = False
+        state.position = new_position
+
+        # Yaw integration.
+        state.heading_deg = wrap_degrees(
+            state.heading_deg + self._commanded_yaw_rate_dps * dt
+        )
+
+    @property
+    def commanded_velocity(self) -> Vec3:
+        """The current velocity command (after clamping)."""
+        return self._commanded_velocity

@@ -1,0 +1,99 @@
+"""On-board sensors: noisy state estimate and the camera mount.
+
+The paper leaves IMU integration as future work ("the integration of an
+appropriate sensor like an IMU to indicate actual flight is yet to be
+discussed"), but the recognition experiments need a camera pose, and the
+navigation code needs a position estimate.  Noise levels default to
+low-cost GPS/IMU figures; tests can zero them for determinism.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.camera import CameraIntrinsics, PinholeCamera
+from repro.geometry.vec import Vec3
+from repro.simulation.body import BodyState
+
+__all__ = ["StateEstimator", "CameraMount"]
+
+
+@dataclass
+class StateEstimator:
+    """A noisy view of the body state (GPS + barometer + compass).
+
+    Parameters
+    ----------
+    horizontal_sigma_m / vertical_sigma_m:
+        Per-axis Gaussian position noise.
+    heading_sigma_deg:
+        Compass noise.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    horizontal_sigma_m: float = 0.3
+    vertical_sigma_m: float = 0.15
+    heading_sigma_deg: float = 2.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if min(self.horizontal_sigma_m, self.vertical_sigma_m, self.heading_sigma_deg) < 0:
+            raise ValueError("noise levels must be non-negative")
+        self._rng = random.Random(self.seed)
+
+    def estimate(self, true_state: BodyState) -> BodyState:
+        """Return a noisy copy of *true_state*."""
+        noise = Vec3(
+            self._rng.gauss(0.0, self.horizontal_sigma_m),
+            self._rng.gauss(0.0, self.horizontal_sigma_m),
+            self._rng.gauss(0.0, self.vertical_sigma_m),
+        )
+        position = true_state.position + noise
+        if true_state.on_ground:
+            position = position.with_z(0.0)
+        return BodyState(
+            position=position,
+            velocity=true_state.velocity,
+            heading_deg=true_state.heading_deg + self._rng.gauss(0.0, self.heading_sigma_deg),
+            on_ground=true_state.on_ground,
+            rotors_on=true_state.rotors_on,
+        )
+
+    @staticmethod
+    def perfect() -> "StateEstimator":
+        """A noise-free estimator for deterministic tests."""
+        return StateEstimator(horizontal_sigma_m=0.0, vertical_sigma_m=0.0, heading_sigma_deg=0.0)
+
+
+@dataclass
+class CameraMount:
+    """A gimballed camera on the drone, pointed at a world target.
+
+    The gimbal is ideal (no lag): the recognition experiments in the
+    paper hold station while observing the signaller, so gimbal dynamics
+    would not change any claim.
+    """
+
+    intrinsics: CameraIntrinsics = field(default_factory=CameraIntrinsics)
+    # Mounting offset below the airframe reference point.
+    mount_offset: Vec3 = field(default_factory=lambda: Vec3(0.0, 0.0, -0.1))
+
+    def camera_for(self, body_state: BodyState, target: Vec3) -> PinholeCamera:
+        """Return the posed camera looking from the drone at *target*.
+
+        Raises
+        ------
+        ValueError
+            If the camera position coincides with the target.
+        """
+        position = body_state.position + self.mount_offset
+        return PinholeCamera(position=position, target=target, intrinsics=self.intrinsics)
+
+    def subtended_pixels(self, body_state: BodyState, target: Vec3, size_m: float) -> float:
+        """Return how many pixels an object of *size_m* at *target* spans."""
+        camera = self.camera_for(body_state, target)
+        return camera.pixels_per_metre_at(target) * size_m

@@ -1,0 +1,27 @@
+"""Requirements derivation from user stories (paper Section II).
+
+The three personas' stories, the minimum communication requirements
+they induce, and the traceability matrix tying requirements to the
+modules implementing and the tests verifying them.
+"""
+
+from repro.userstories.stories import (
+    REQUIREMENTS,
+    USER_STORIES,
+    Direction,
+    Requirement,
+    UserStory,
+    requirements_for_story,
+)
+from repro.userstories.traceability import TraceabilityMatrix, build_matrix
+
+__all__ = [
+    "REQUIREMENTS",
+    "USER_STORIES",
+    "Direction",
+    "Requirement",
+    "UserStory",
+    "requirements_for_story",
+    "TraceabilityMatrix",
+    "build_matrix",
+]

@@ -1,0 +1,254 @@
+"""User stories and requirements derivation (paper Section II).
+
+"We largely assembled the relevant requirements via the creation of
+user-stories based around three characters ... These user stories —
+narrative building as understood by early agile development systems
+rather than the current formulistic approach — resulted in a set of
+minimum communication requirements."
+
+This module encodes the stories and the requirements they induce as
+data, plus the traceability from requirement to the module implementing
+it — the artefact a certification argument starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.human.persona import TrainingLevel
+
+__all__ = [
+    "Direction",
+    "UserStory",
+    "Requirement",
+    "USER_STORIES",
+    "REQUIREMENTS",
+    "requirements_for_story",
+]
+
+
+class Direction(Enum):
+    """Which way the communication flows."""
+
+    DRONE_TO_HUMAN = "drone_to_human"
+    HUMAN_TO_DRONE = "human_to_drone"
+    BIDIRECTIONAL = "bidirectional"
+
+
+@dataclass(frozen=True, slots=True)
+class UserStory:
+    """One narrative user story."""
+
+    story_id: str
+    persona: TrainingLevel
+    narrative: str
+    induces: tuple[str, ...]  # requirement ids
+
+
+@dataclass(frozen=True, slots=True)
+class Requirement:
+    """One derived communication requirement with traceability."""
+
+    req_id: str
+    direction: Direction
+    statement: str
+    implemented_by: tuple[str, ...]  # module paths
+    verified_by: tuple[str, ...]  # test module paths
+
+
+USER_STORIES: tuple[UserStory, ...] = (
+    UserStory(
+        story_id="US1",
+        persona=TrainingLevel.TRAINED,
+        narrative=(
+            "As the orchard supervisor, I watch several drones work my rows; "
+            "I need to see at a glance which way each drone is moving so I "
+            "can route workers safely around them."
+        ),
+        induces=("R-DIR", "R-VISIBLE"),
+    ),
+    UserStory(
+        story_id="US2",
+        persona=TrainingLevel.PARTIALLY_TRAINED,
+        narrative=(
+            "As an orchard worker picking cherries, a drone needs the fly trap "
+            "behind me; it must get my attention politely, ask for the space, "
+            "and accept my answer — without me carrying any equipment."
+        ),
+        induces=("R-POKE", "R-REQ", "R-ANSWER", "R-NOWEAR", "R-ACK"),
+    ),
+    UserStory(
+        story_id="US3",
+        persona=TrainingLevel.UNTRAINED,
+        narrative=(
+            "As a visitor on a farm tour, I have had a two-minute briefing; "
+            "if a drone comes near I must be able to tell instantly whether "
+            "something is wrong, and my instinctive protective gesture should "
+            "mean something to it."
+        ),
+        induces=("R-DANGER", "R-SIMPLE", "R-ATTN-REFLEX"),
+    ),
+    UserStory(
+        story_id="US4",
+        persona=TrainingLevel.TRAINED,
+        narrative=(
+            "As the supervisor, I must trust that a drone that loses a light, "
+            "hits strong gusts or runs low on battery stops negotiating and "
+            "lands, showing danger the whole way down."
+        ),
+        induces=("R-DANGER", "R-SAFE-DEFAULT", "R-ENVELOPE"),
+    ),
+    UserStory(
+        story_id="US5",
+        persona=TrainingLevel.PARTIALLY_TRAINED,
+        narrative=(
+            "As a worker, when I say NO the drone must clearly acknowledge "
+            "and go away; when I say YES it should get on with it quickly "
+            "so I can keep working."
+        ),
+        induces=("R-ACK", "R-ANSWER", "R-TIMELY"),
+    ),
+)
+
+
+REQUIREMENTS: tuple[Requirement, ...] = (
+    Requirement(
+        req_id="R-DIR",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement=(
+            "The drone indicates its horizontal direction of controlled "
+            "flight with an FAA-style tri-colour all-round light ring."
+        ),
+        implemented_by=("repro.signaling.ring",),
+        verified_by=("tests/signaling/test_ring.py",),
+    ),
+    Requirement(
+        req_id="R-VISIBLE",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement=(
+            "Ring lights are conspicuous at working distances in daylight, "
+            "within the platform power budget."
+        ),
+        implemented_by=("repro.signaling.visibility",),
+        verified_by=("tests/signaling/test_visibility.py",),
+    ),
+    Requirement(
+        req_id="R-DANGER",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement="A triggered safety function turns the entire ring red.",
+        implemented_by=("repro.signaling.ring", "repro.protocol.safety"),
+        verified_by=("tests/protocol/test_safety.py",),
+    ),
+    Requirement(
+        req_id="R-SAFE-DEFAULT",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement="Danger (all red) is the power-on and fault default state.",
+        implemented_by=("repro.signaling.ring",),
+        verified_by=("tests/signaling/test_ring.py",),
+    ),
+    Requirement(
+        req_id="R-POKE",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement=(
+            "The drone attracts attention with a dedicated 'poke' flight "
+            "pattern flown at the safe-distance boundary."
+        ),
+        implemented_by=("repro.drone.patterns",),
+        verified_by=("tests/drone/test_patterns.py",),
+    ),
+    Requirement(
+        req_id="R-REQ",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement=(
+            "The drone requests occupancy of a person's area by flying a "
+            "rectangle to signify area."
+        ),
+        implemented_by=("repro.drone.patterns", "repro.protocol.negotiation"),
+        verified_by=("tests/protocol/test_negotiation.py",),
+    ),
+    Requirement(
+        req_id="R-ACK",
+        direction=Direction.DRONE_TO_HUMAN,
+        statement=(
+            "The drone acknowledges YES with a nod pattern and NO with a "
+            "turn pattern, both classifiable from trajectory alone."
+        ),
+        implemented_by=("repro.drone.patterns", "repro.drone.pattern_classifier"),
+        verified_by=("tests/drone/test_pattern_classifier.py",),
+    ),
+    Requirement(
+        req_id="R-ANSWER",
+        direction=Direction.HUMAN_TO_DRONE,
+        statement=(
+            "Humans answer with three static marshalling signs (ATTENTION, "
+            "YES, NO) recognised on board in real time, rotation invariant."
+        ),
+        implemented_by=("repro.human.signs", "repro.recognition.pipeline"),
+        verified_by=("tests/recognition/test_pipeline.py",),
+    ),
+    Requirement(
+        req_id="R-NOWEAR",
+        direction=Direction.HUMAN_TO_DRONE,
+        statement=(
+            "No wearable or carried equipment is required of the human; "
+            "signalling is bare-handed."
+        ),
+        implemented_by=("repro.human.pose",),
+        verified_by=("tests/human/test_pose.py",),
+    ),
+    Requirement(
+        req_id="R-SIMPLE",
+        direction=Direction.HUMAN_TO_DRONE,
+        statement=(
+            "The sign set is the minimum necessary (three signs) and "
+            "learnable from a minimal briefing."
+        ),
+        implemented_by=("repro.human.signs",),
+        verified_by=("tests/human/test_signs.py",),
+    ),
+    Requirement(
+        req_id="R-ATTN-REFLEX",
+        direction=Direction.HUMAN_TO_DRONE,
+        statement=(
+            "The ATTENTION sign coincides with the instinctive face-guard "
+            "reflex and differs from Swiss helicopter marshalling signs."
+        ),
+        implemented_by=("repro.human.pose",),
+        verified_by=("tests/human/test_pose.py",),
+    ),
+    Requirement(
+        req_id="R-ENVELOPE",
+        direction=Direction.BIDIRECTIONAL,
+        statement=(
+            "The drone only negotiates inside its perception envelope and "
+            "treats unreadable geometry as 'no answer', never guessing."
+        ),
+        implemented_by=("repro.protocol.perception", "repro.sax.database"),
+        verified_by=("tests/recognition/test_evaluation.py",),
+    ),
+    Requirement(
+        req_id="R-TIMELY",
+        direction=Direction.BIDIRECTIONAL,
+        statement=(
+            "Recognition runs within a 30 fps real-time budget on modest "
+            "hardware; negotiation rounds complete within tens of seconds."
+        ),
+        implemented_by=("repro.recognition.budget", "repro.protocol.negotiation"),
+        verified_by=("tests/recognition/test_budget.py",),
+    ),
+)
+
+
+def requirements_for_story(story_id: str) -> list[Requirement]:
+    """Return the requirements induced by one story.
+
+    Raises
+    ------
+    KeyError
+        If the story id is unknown.
+    """
+    stories = {s.story_id: s for s in USER_STORIES}
+    story = stories[story_id]
+    by_id = {r.req_id: r for r in REQUIREMENTS}
+    return [by_id[req_id] for req_id in story.induces]

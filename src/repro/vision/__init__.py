@@ -1,0 +1,70 @@
+"""Vision substrate: the OpenCV subset the paper's pipeline needs,
+implemented from scratch on NumPy.
+
+Pipeline order (see :mod:`repro.recognition.preprocess`):
+
+``Image`` → blur (:mod:`filters`) → binarise (:mod:`threshold`) →
+clean (:mod:`morphology`) → largest region (:mod:`components`) →
+outer contour (:mod:`contour`) → 1-D shape signature (:mod:`signature`).
+"""
+
+from repro.vision.components import (
+    ConnectedComponent,
+    label_components,
+    label_components_fast,
+    largest_component,
+)
+from repro.vision.contour import Contour, resample_closed_curve, trace_outer_contour
+from repro.vision.filters import (
+    box_blur,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    gradient_magnitude,
+    sobel_gradients,
+)
+from repro.vision.image import BinaryImage, Image
+from repro.vision.moments import CentralMoments, central_moments, hu_moments
+from repro.vision.morphology import closing, dilate, erode, opening
+from repro.vision.raster import merge_masks, raster_capsule, raster_disc, raster_polygon
+from repro.vision.signature import (
+    SignatureKind,
+    centroid_distance_signature,
+    compute_signature,
+    cumulative_angle_signature,
+)
+from repro.vision.threshold import otsu_threshold, threshold_fixed, threshold_otsu
+
+__all__ = [
+    "ConnectedComponent",
+    "label_components",
+    "label_components_fast",
+    "largest_component",
+    "Contour",
+    "resample_closed_curve",
+    "trace_outer_contour",
+    "box_blur",
+    "gaussian_blur",
+    "gaussian_kernel_1d",
+    "gradient_magnitude",
+    "sobel_gradients",
+    "BinaryImage",
+    "Image",
+    "CentralMoments",
+    "central_moments",
+    "hu_moments",
+    "closing",
+    "dilate",
+    "erode",
+    "opening",
+    "merge_masks",
+    "raster_capsule",
+    "raster_disc",
+    "raster_polygon",
+    "SignatureKind",
+    "centroid_distance_signature",
+    "compute_signature",
+    "cumulative_angle_signature",
+    "otsu_threshold",
+    "threshold_fixed",
+    "threshold_otsu",
+]

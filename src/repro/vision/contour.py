@@ -1,0 +1,172 @@
+"""Contour extraction and resampling.
+
+Moore-neighbour boundary tracing with Jacob's stopping criterion
+extracts the outer contour of a binary silhouette; the contour is then
+resampled to a fixed number of arc-length-equidistant points so that the
+downstream shape signature (and therefore the SAX word) has a stable
+length regardless of how many boundary pixels the silhouette has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import BinaryImage
+
+__all__ = ["Contour", "trace_outer_contour", "resample_closed_curve"]
+
+# Moore neighbourhood in clockwise order starting from west,
+# as (row_offset, col_offset).
+_MOORE_OFFSETS = (
+    (0, -1),
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+    (1, 0),
+    (1, -1),
+)
+
+
+@dataclass(frozen=True)
+class Contour:
+    """A closed boundary curve as an ``(n, 2)`` array of (row, col) points."""
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"expected an (n, 2) array, got shape {pts.shape}")
+        if len(pts) < 3:
+            raise ValueError("a contour needs at least three points")
+        pts.setflags(write=False)
+        object.__setattr__(self, "points", pts)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def perimeter(self) -> float:
+        """Return the closed-curve arc length."""
+        diffs = np.diff(np.vstack([self.points, self.points[:1]]), axis=0)
+        return float(np.hypot(diffs[:, 0], diffs[:, 1]).sum())
+
+    def centroid(self) -> tuple[float, float]:
+        """Return the vertex centroid as ``(row, col)``."""
+        mean = self.points.mean(axis=0)
+        return float(mean[0]), float(mean[1])
+
+    def enclosed_area(self) -> float:
+        """Return the polygon area enclosed by the contour (shoelace)."""
+        rows = self.points[:, 0]
+        cols = self.points[:, 1]
+        return float(abs(np.dot(cols, np.roll(rows, -1)) - np.dot(rows, np.roll(cols, -1))) / 2.0)
+
+    def resampled(self, n_points: int) -> "Contour":
+        """Return the contour resampled to *n_points* equidistant points."""
+        return Contour(resample_closed_curve(self.points, n_points))
+
+
+def trace_outer_contour(image: BinaryImage) -> Contour | None:
+    """Trace the outer boundary of the foreground (Moore-neighbour).
+
+    The trace starts from the top-most, then left-most foreground pixel
+    and proceeds clockwise.  Returns ``None`` when the image has fewer
+    than three boundary pixels (no meaningful contour).
+
+    The input is expected to contain a single connected foreground
+    region; with several regions, only the boundary of the region
+    containing the scan-order-first pixel is traced.
+    """
+    pixels = image.pixels
+    ys, xs = np.nonzero(pixels)
+    if len(ys) == 0:
+        return None
+
+    start = (int(ys[0]), int(xs[0]))  # nonzero scans row-major: top-most first
+    h, w = pixels.shape
+
+    def is_fg(r: int, c: int) -> bool:
+        return 0 <= r < h and 0 <= c < w and bool(pixels[r, c])
+
+    # The backtrack begins as the pixel "west" of the start (the raster
+    # scan reached the start from the left/above, which is background by
+    # construction for the top-most/left-most foreground pixel).
+    boundary: list[tuple[int, int]] = [start]
+    backtrack_idx = 0  # index into _MOORE_OFFSETS pointing at the backtrack cell
+    current = start
+    # Jacob's stopping criterion, phrased on *departures*: terminate when
+    # the walk is about to leave the start pixel with a (destination,
+    # backtrack) pair it has already used — the trace has come full circle.
+    moves_from_start: set[tuple[tuple[int, int], int]] = set()
+
+    for _ in range(8 * h * w + 8):  # hard bound; each boundary pixel visited <= 8x
+        found = False
+        # Search the Moore neighbourhood clockwise, starting just after
+        # the backtrack direction.
+        for step in range(1, 9):
+            idx = (backtrack_idx + step) % 8
+            dr, dc = _MOORE_OFFSETS[idx]
+            nr, nc = current[0] + dr, current[1] + dc
+            if is_fg(nr, nc):
+                # New backtrack: the neighbour we examined just before
+                # the hit (guaranteed background or out of bounds),
+                # expressed relative to the *new* current pixel.
+                prev_idx = (backtrack_idx + step - 1) % 8
+                pr, pc = _MOORE_OFFSETS[prev_idx]
+                back_dr = current[0] + pr - nr
+                back_dc = current[1] + pc - nc
+                new_backtrack = _MOORE_OFFSETS.index((back_dr, back_dc))
+                move = ((nr, nc), new_backtrack)
+                if current == start:
+                    if move in moves_from_start:
+                        return _contour_from_boundary(boundary)
+                    moves_from_start.add(move)
+                backtrack_idx = new_backtrack
+                current = (nr, nc)
+                boundary.append(current)
+                found = True
+                break
+        if not found:
+            # Isolated pixel: no neighbours at all.
+            return None
+    return _contour_from_boundary(boundary)
+
+
+def _contour_from_boundary(boundary: list[tuple[int, int]]) -> Contour | None:
+    # Drop the duplicated closing point(s) at the start pixel.
+    while len(boundary) > 1 and boundary[-1] == boundary[0]:
+        boundary.pop()
+    if len(boundary) < 3:
+        return None
+    return Contour(np.array(boundary, dtype=np.float64))
+
+
+def resample_closed_curve(points: np.ndarray, n_points: int) -> np.ndarray:
+    """Resample a closed polyline to *n_points* arc-length-equidistant points.
+
+    The first output point coincides with the first input point, so any
+    rotation of the curve start shows up as a circular shift of the
+    output — which is exactly what the rotation-invariant SAX matcher in
+    :mod:`repro.sax.matching` compensates for.
+    """
+    if n_points < 3:
+        raise ValueError("need at least three resampled points")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {pts.shape}")
+    closed = np.vstack([pts, pts[:1]])
+    seg = np.diff(closed, axis=0)
+    seg_len = np.hypot(seg[:, 0], seg[:, 1])
+    cumulative = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cumulative[-1]
+    if total <= 0.0:
+        # Degenerate curve (all points identical): replicate the point.
+        return np.repeat(pts[:1], n_points, axis=0)
+    targets = np.linspace(0.0, total, n_points, endpoint=False)
+    rows = np.interp(targets, cumulative, closed[:, 0])
+    cols = np.interp(targets, cumulative, closed[:, 1])
+    return np.stack([rows, cols], axis=1)

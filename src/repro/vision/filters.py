@@ -1,0 +1,97 @@
+"""Spatial filters: box blur, Gaussian blur, Sobel gradients.
+
+Implemented with separable convolutions on NumPy arrays — the only image
+smoothing the recognition pre-processor needs before thresholding.
+Borders use *reflect* padding so filtered images keep their size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.vision.image import Image
+
+__all__ = ["box_blur", "gaussian_kernel_1d", "gaussian_blur", "sobel_gradients", "gradient_magnitude"]
+
+
+def _convolve_separable(pixels: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolve rows then columns with a symmetric 1-D *kernel*."""
+    radius = len(kernel) // 2
+    padded = np.pad(pixels, ((0, 0), (radius, radius)), mode="reflect")
+    horizontal = np.empty_like(pixels)
+    for i, k in enumerate(kernel):
+        sl = padded[:, i : i + pixels.shape[1]]
+        if i == 0:
+            horizontal = k * sl
+        else:
+            horizontal = horizontal + k * sl
+    padded = np.pad(horizontal, ((radius, radius), (0, 0)), mode="reflect")
+    vertical = np.empty_like(pixels)
+    for i, k in enumerate(kernel):
+        sl = padded[i : i + pixels.shape[0], :]
+        if i == 0:
+            vertical = k * sl
+        else:
+            vertical = vertical + k * sl
+    return vertical
+
+
+def box_blur(image: Image, radius: int = 1) -> Image:
+    """Return the image blurred with a ``(2*radius+1)``-wide box kernel."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return image
+    size = 2 * radius + 1
+    kernel = np.full(size, 1.0 / size)
+    return Image(np.clip(_convolve_separable(image.pixels, kernel), 0.0, 1.0))
+
+
+def gaussian_kernel_1d(sigma: float, truncate: float = 3.0) -> np.ndarray:
+    """Return a normalised 1-D Gaussian kernel.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation in pixels; must be positive.
+    truncate:
+        Kernel half-width in units of *sigma*.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    radius = max(1, int(math.ceil(truncate * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (xs / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: Image, sigma: float = 1.0) -> Image:
+    """Return the image smoothed by an isotropic Gaussian."""
+    kernel = gaussian_kernel_1d(sigma)
+    return Image(np.clip(_convolve_separable(image.pixels, kernel), 0.0, 1.0))
+
+
+def sobel_gradients(image: Image) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(gx, gy)`` Sobel gradient arrays (not clipped to [0, 1]).
+
+    ``gx`` responds to vertical edges (intensity change along columns),
+    ``gy`` to horizontal edges (change along rows).
+    """
+    px = image.pixels
+    padded = np.pad(px, 1, mode="reflect")
+    # Separable Sobel: derivative [-1, 0, 1] and smoothing [1, 2, 1].
+    center = padded[1:-1, :]
+    smooth_rows = padded[:-2, :] + 2.0 * center + padded[2:, :]
+    gx = smooth_rows[:, 2:] - smooth_rows[:, :-2]
+    center_c = padded[:, 1:-1]
+    smooth_cols = padded[:, :-2] + 2.0 * center_c + padded[:, 2:]
+    gy = smooth_cols[2:, :] - smooth_cols[:-2, :]
+    return gx, gy
+
+
+def gradient_magnitude(image: Image) -> np.ndarray:
+    """Return the Sobel gradient magnitude (unnormalised)."""
+    gx, gy = sobel_gradients(image)
+    return np.hypot(gx, gy)

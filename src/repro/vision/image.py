@@ -1,0 +1,211 @@
+"""Grayscale and binary image containers.
+
+The paper's pipeline used OpenCV; that is unavailable here, so
+:mod:`repro.vision` implements the required subset from scratch on NumPy.
+An :class:`Image` is a thin, validated wrapper over a ``float64`` array in
+``[0, 1]`` (grayscale) and :class:`BinaryImage` over a ``bool`` array.
+Row index grows downwards (raster order), matching the camera model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Image", "BinaryImage"]
+
+
+@dataclass(frozen=True)
+class Image:
+    """An immutable grayscale image with intensities in ``[0, 1]``."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        px = np.asarray(self.pixels, dtype=np.float64)
+        if px.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got {px.ndim}-D")
+        if px.size == 0:
+            raise ValueError("image must be non-empty")
+        if float(px.min()) < -1e-9 or float(px.max()) > 1.0 + 1e-9:
+            raise ValueError("grayscale intensities must lie in [0, 1]")
+        px = np.clip(px, 0.0, 1.0)
+        px.setflags(write=False)
+        object.__setattr__(self, "pixels", px)
+
+    @property
+    def height(self) -> int:
+        """Number of rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)``."""
+        return (self.height, self.width)
+
+    @staticmethod
+    def zeros(height: int, width: int) -> "Image":
+        """Return an all-black image."""
+        if height <= 0 or width <= 0:
+            raise ValueError("image dimensions must be positive")
+        return Image(np.zeros((height, width)))
+
+    @staticmethod
+    def full(height: int, width: int, value: float) -> "Image":
+        """Return a constant-intensity image."""
+        if height <= 0 or width <= 0:
+            raise ValueError("image dimensions must be positive")
+        return Image(np.full((height, width), float(value)))
+
+    def mean(self) -> float:
+        """Return the mean intensity."""
+        return float(self.pixels.mean())
+
+    def invert(self) -> "Image":
+        """Return the photographic negative."""
+        return Image(1.0 - self.pixels)
+
+    def crop(self, top: int, left: int, height: int, width: int) -> "Image":
+        """Return a rectangular sub-image.
+
+        Raises
+        ------
+        ValueError
+            If the requested window falls outside the image.
+        """
+        if top < 0 or left < 0 or height <= 0 or width <= 0:
+            raise ValueError("invalid crop window")
+        if top + height > self.height or left + width > self.width:
+            raise ValueError("crop window exceeds image bounds")
+        return Image(self.pixels[top : top + height, left : left + width].copy())
+
+    def downsample(self, factor: int) -> "Image":
+        """Return the image reduced by an integer *factor* (block mean).
+
+        Trailing rows/columns that do not fill a block are discarded.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if factor == 1:
+            return self
+        h = (self.height // factor) * factor
+        w = (self.width // factor) * factor
+        if h == 0 or w == 0:
+            raise ValueError("image too small for this downsample factor")
+        block = self.pixels[:h, :w].reshape(h // factor, factor, w // factor, factor)
+        return Image(block.mean(axis=(1, 3)))
+
+
+@dataclass(frozen=True)
+class BinaryImage:
+    """An immutable binary (mask) image; ``True`` marks foreground."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        px = np.asarray(self.pixels)
+        if px.dtype != np.bool_:
+            px = px.astype(bool)
+        if px.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got {px.ndim}-D")
+        if px.size == 0:
+            raise ValueError("image must be non-empty")
+        px = px.copy()
+        px.setflags(write=False)
+        object.__setattr__(self, "pixels", px)
+
+    @property
+    def height(self) -> int:
+        """Number of rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)``."""
+        return (self.height, self.width)
+
+    @staticmethod
+    def zeros(height: int, width: int) -> "BinaryImage":
+        """Return an all-background mask."""
+        if height <= 0 or width <= 0:
+            raise ValueError("image dimensions must be positive")
+        return BinaryImage(np.zeros((height, width), dtype=bool))
+
+    def foreground_count(self) -> int:
+        """Return the number of foreground pixels."""
+        return int(self.pixels.sum())
+
+    def foreground_fraction(self) -> float:
+        """Return the fraction of pixels that are foreground."""
+        return self.foreground_count() / self.pixels.size
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no pixel is foreground."""
+        return not bool(self.pixels.any())
+
+    def complement(self) -> "BinaryImage":
+        """Return the mask with foreground and background swapped."""
+        return BinaryImage(~self.pixels)
+
+    def union(self, other: "BinaryImage") -> "BinaryImage":
+        """Return the pixel-wise OR of two same-shape masks."""
+        self._check_same_shape(other)
+        return BinaryImage(self.pixels | other.pixels)
+
+    def intersection(self, other: "BinaryImage") -> "BinaryImage":
+        """Return the pixel-wise AND of two same-shape masks."""
+        self._check_same_shape(other)
+        return BinaryImage(self.pixels & other.pixels)
+
+    def difference(self, other: "BinaryImage") -> "BinaryImage":
+        """Return the pixels in ``self`` that are not in *other*."""
+        self._check_same_shape(other)
+        return BinaryImage(self.pixels & ~other.pixels)
+
+    def iou(self, other: "BinaryImage") -> float:
+        """Return intersection-over-union with *other* (1.0 when identical).
+
+        Two empty masks have IoU 1.0 by convention.
+        """
+        self._check_same_shape(other)
+        inter = int((self.pixels & other.pixels).sum())
+        union = int((self.pixels | other.pixels).sum())
+        if union == 0:
+            return 1.0
+        return inter / union
+
+    def to_grayscale(self) -> Image:
+        """Return a grayscale rendering (foreground = white)."""
+        return Image(self.pixels.astype(np.float64))
+
+    def bounding_box(self) -> tuple[int, int, int, int] | None:
+        """Return ``(top, left, height, width)`` of the foreground, or ``None``."""
+        rows = np.any(self.pixels, axis=1)
+        cols = np.any(self.pixels, axis=0)
+        if not rows.any():
+            return None
+        top, bottom = int(np.argmax(rows)), int(len(rows) - np.argmax(rows[::-1]))
+        left, right = int(np.argmax(cols)), int(len(cols) - np.argmax(cols[::-1]))
+        return top, left, bottom - top, right - left
+
+    def centroid(self) -> tuple[float, float] | None:
+        """Return the foreground centroid as ``(row, col)``, or ``None``."""
+        ys, xs = np.nonzero(self.pixels)
+        if len(ys) == 0:
+            return None
+        return float(ys.mean()), float(xs.mean())
+
+    def _check_same_shape(self, other: "BinaryImage") -> None:
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")

@@ -1,0 +1,108 @@
+"""Image moments and Hu's seven invariants.
+
+Used by the *baseline* classifier (:mod:`repro.recognition.baselines`):
+the paper positions SAX against heavier recognition machinery, so we
+provide a classical rotation-invariant alternative to compare accuracy
+and cost against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vision.image import BinaryImage
+
+__all__ = ["CentralMoments", "central_moments", "hu_moments"]
+
+
+@dataclass(frozen=True)
+class CentralMoments:
+    """Central moments up to third order of a binary shape."""
+
+    m00: float
+    mu20: float
+    mu02: float
+    mu11: float
+    mu30: float
+    mu03: float
+    mu21: float
+    mu12: float
+
+
+def central_moments(image: BinaryImage) -> CentralMoments:
+    """Compute central moments of the foreground up to third order.
+
+    Raises
+    ------
+    ValueError
+        If the image has no foreground pixels.
+    """
+    ys, xs = np.nonzero(image.pixels)
+    if len(ys) == 0:
+        raise ValueError("cannot compute moments of an empty shape")
+    y = ys.astype(np.float64)
+    x = xs.astype(np.float64)
+    m00 = float(len(ys))
+    cy, cx = y.mean(), x.mean()
+    dy, dx = y - cy, x - cx
+    return CentralMoments(
+        m00=m00,
+        mu20=float((dx * dx).sum()),
+        mu02=float((dy * dy).sum()),
+        mu11=float((dx * dy).sum()),
+        mu30=float((dx**3).sum()),
+        mu03=float((dy**3).sum()),
+        mu21=float((dx * dx * dy).sum()),
+        mu12=float((dx * dy * dy).sum()),
+    )
+
+
+def hu_moments(image: BinaryImage, log_scale: bool = True) -> np.ndarray:
+    """Return Hu's seven rotation/scale/translation-invariant moments.
+
+    Parameters
+    ----------
+    log_scale:
+        When ``True`` (default), each invariant ``h`` is mapped to
+        ``-sign(h) * log10(|h|)`` which compresses their wildly differing
+        magnitudes — the standard practice before nearest-neighbour
+        matching.
+    """
+    m = central_moments(image)
+    # Scale-normalised central moments.
+    n20 = m.mu20 / m.m00**2
+    n02 = m.mu02 / m.m00**2
+    n11 = m.mu11 / m.m00**2
+    n30 = m.mu30 / m.m00**2.5
+    n03 = m.mu03 / m.m00**2.5
+    n21 = m.mu21 / m.m00**2.5
+    n12 = m.mu12 / m.m00**2.5
+
+    h1 = n20 + n02
+    h2 = (n20 - n02) ** 2 + 4.0 * n11**2
+    h3 = (n30 - 3.0 * n12) ** 2 + (3.0 * n21 - n03) ** 2
+    h4 = (n30 + n12) ** 2 + (n21 + n03) ** 2
+    h5 = (n30 - 3.0 * n12) * (n30 + n12) * ((n30 + n12) ** 2 - 3.0 * (n21 + n03) ** 2) + (
+        3.0 * n21 - n03
+    ) * (n21 + n03) * (3.0 * (n30 + n12) ** 2 - (n21 + n03) ** 2)
+    h6 = (n20 - n02) * ((n30 + n12) ** 2 - (n21 + n03) ** 2) + 4.0 * n11 * (n30 + n12) * (
+        n21 + n03
+    )
+    h7 = (3.0 * n21 - n03) * (n30 + n12) * ((n30 + n12) ** 2 - 3.0 * (n21 + n03) ** 2) - (
+        n30 - 3.0 * n12
+    ) * (n21 + n03) * (3.0 * (n30 + n12) ** 2 - (n21 + n03) ** 2)
+
+    values = np.array([h1, h2, h3, h4, h5, h6, h7], dtype=np.float64)
+    if not log_scale:
+        return values
+    out = np.zeros_like(values)
+    nonzero = np.abs(values) > 1e-300
+    out[nonzero] = -np.sign(values[nonzero]) * np.log10(np.abs(values[nonzero]))
+    return out
+
+
+def _sign(x: float) -> float:
+    return math.copysign(1.0, x) if x != 0.0 else 0.0

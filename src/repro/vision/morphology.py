@@ -1,0 +1,60 @@
+"""Binary morphology: erosion, dilation, opening, closing.
+
+Uses a square (Chebyshev) structuring element of configurable radius.
+The recognition pre-processor applies a small *closing* to heal
+single-pixel gaps between limb capsules before contour tracing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import BinaryImage
+
+__all__ = ["dilate", "erode", "opening", "closing"]
+
+
+def _shifted_stack(pixels: np.ndarray, radius: int, pad_value: bool) -> np.ndarray:
+    """Return an array stacking all shifts within the square window."""
+    padded = np.pad(pixels, radius, mode="constant", constant_values=pad_value)
+    h, w = pixels.shape
+    size = 2 * radius + 1
+    shifts = np.empty((size * size, h, w), dtype=bool)
+    idx = 0
+    for dy in range(size):
+        for dx in range(size):
+            shifts[idx] = padded[dy : dy + h, dx : dx + w]
+            idx += 1
+    return shifts
+
+
+def dilate(image: BinaryImage, radius: int = 1) -> BinaryImage:
+    """Grow foreground by *radius* pixels (square structuring element)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return image
+    return BinaryImage(_shifted_stack(image.pixels, radius, False).any(axis=0))
+
+
+def erode(image: BinaryImage, radius: int = 1) -> BinaryImage:
+    """Shrink foreground by *radius* pixels (square structuring element).
+
+    The image border is treated as background, so foreground touching the
+    border erodes inward from it as well.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0:
+        return image
+    return BinaryImage(_shifted_stack(image.pixels, radius, False).all(axis=0))
+
+
+def opening(image: BinaryImage, radius: int = 1) -> BinaryImage:
+    """Erode then dilate: removes specks smaller than the element."""
+    return dilate(erode(image, radius), radius)
+
+
+def closing(image: BinaryImage, radius: int = 1) -> BinaryImage:
+    """Dilate then erode: fills holes/gaps smaller than the element."""
+    return erode(dilate(image, radius), radius)

@@ -1,0 +1,74 @@
+"""Binarisation: fixed threshold and Otsu's method.
+
+The paper's pipeline binarises the camera frame before contour
+extraction ("framebw0" / "framebw65" in Figure 4).  Otsu's method gives
+an illumination-robust automatic threshold, which matters outdoors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.image import BinaryImage, Image
+
+__all__ = ["threshold_fixed", "otsu_threshold", "threshold_otsu"]
+
+
+def threshold_fixed(image: Image, threshold: float, foreground_dark: bool = False) -> BinaryImage:
+    """Binarise at a fixed *threshold* in ``[0, 1]``.
+
+    Parameters
+    ----------
+    foreground_dark:
+        When ``True``, pixels *below* the threshold become foreground
+        (a dark signaller against bright sky); otherwise pixels at or
+        above it do.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must lie in [0, 1]")
+    if foreground_dark:
+        return BinaryImage(image.pixels < threshold)
+    return BinaryImage(image.pixels >= threshold)
+
+
+def otsu_threshold(image: Image, bins: int = 256) -> float:
+    """Return Otsu's optimal threshold for *image*.
+
+    Maximises between-class variance over a *bins*-bucket histogram.
+    For a constant image the midpoint 0.5 is returned.
+    """
+    if bins < 2:
+        raise ValueError("need at least two histogram bins")
+    histogram, edges = np.histogram(image.pixels, bins=bins, range=(0.0, 1.0))
+    total = histogram.sum()
+    if total == 0:
+        return 0.5
+    centres = (edges[:-1] + edges[1:]) / 2.0
+
+    weights = histogram / total
+    cum_weight = np.cumsum(weights)
+    cum_mean = np.cumsum(weights * centres)
+    global_mean = cum_mean[-1]
+
+    # Between-class variance for every split point; guard empty classes.
+    denom = cum_weight * (1.0 - cum_weight)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        variance = np.where(
+            denom > 1e-12,
+            (global_mean * cum_weight - cum_mean) ** 2 / np.maximum(denom, 1e-12),
+            0.0,
+        )
+    peak = float(variance.max())
+    if peak <= 0.0:
+        return 0.5
+    # The between-class variance is flat across the empty gap between two
+    # well-separated clusters; take the middle of the plateau rather than
+    # its first bin so the threshold lands centrally.
+    plateau = np.nonzero(variance >= peak * (1.0 - 1e-9))[0]
+    best = int(round(float(plateau.mean())))
+    return float(edges[best + 1])
+
+
+def threshold_otsu(image: Image, foreground_dark: bool = False) -> BinaryImage:
+    """Binarise with Otsu's automatically selected threshold."""
+    return threshold_fixed(image, otsu_threshold(image), foreground_dark=foreground_dark)

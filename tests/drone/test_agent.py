@@ -1,0 +1,139 @@
+"""Integration tests for the drone agent: patterns, lights, energy, faults."""
+
+import pytest
+
+from repro.drone import (
+    CruisePattern,
+    DroneAgent,
+    DroneMode,
+    LandingPattern,
+    NodPattern,
+    TakeOffPattern,
+)
+from repro.geometry import Vec2
+from repro.signaling import LightColor, RingMode
+from repro.simulation import Battery, World
+
+
+def airborne(world: World, name="drone", **kwargs) -> DroneAgent:
+    drone = DroneAgent(name, **kwargs)
+    world.add_entity(drone)
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    assert world.run_until(lambda w: drone.is_idle, timeout_s=30)
+    return drone
+
+
+class TestLifecycle:
+    def test_takeoff_reaches_height_and_hovers(self):
+        world = World()
+        drone = airborne(world)
+        assert drone.state.position.z == pytest.approx(5.0, abs=0.3)
+        assert drone.mode is DroneMode.HOVERING
+
+    def test_landing_completes_figure2(self):
+        """Figure 2: on the ground, rotors off, all lights extinguished."""
+        world = World()
+        drone = airborne(world)
+        drone.fly_pattern(LandingPattern(), world)
+        assert world.run_until(lambda w: drone.is_idle, timeout_s=60)
+        assert drone.state.on_ground
+        assert not drone.state.rotors_on
+        assert drone.mode is DroneMode.PARKED
+        assert drone.ring.snapshot().count(LightColor.OFF) == drone.ring.led_count
+
+    def test_lights_never_extinguish_before_rotors_stop(self):
+        world = World()
+        drone = airborne(world)
+        drone.fly_pattern(LandingPattern(), world)
+        while not drone.is_idle:
+            world.step()
+            if drone.state.rotors_on:
+                assert drone.ring.mode is not RingMode.OFF
+
+    def test_cruise_moves_and_ring_tracks_course(self):
+        world = World()
+        drone = airborne(world)
+        drone.fly_pattern(CruisePattern(destination=Vec2(20, 0)), world)
+        # Mid-transit the ring must be in navigation mode.
+        world.run_for(3.0)
+        assert drone.ring.mode is RingMode.NAVIGATION
+        assert world.run_until(lambda w: drone.is_idle, timeout_s=60)
+        assert drone.state.position.horizontal().distance_to(Vec2(20, 0)) < 1.0
+
+
+class TestDangerDefaults:
+    def test_ring_red_before_first_flight(self):
+        world = World()
+        drone = DroneAgent("drone")
+        world.add_entity(drone)
+        assert drone.ring.snapshot().glyphs() == "R" * 10
+
+    def test_emergency_turns_ring_red_and_lands(self):
+        world = World()
+        drone = airborne(world)
+        drone.trigger_emergency(world, reason="test")
+        assert drone.ring.mode is RingMode.DANGER
+        assert drone.modes.in_emergency
+        assert world.run_until(lambda w: drone.mode is DroneMode.PARKED, timeout_s=60)
+        assert drone.state.on_ground
+
+    def test_emergency_ring_stays_red_throughout_descent(self):
+        world = World()
+        drone = airborne(world)
+        drone.trigger_emergency(world, reason="test")
+        while drone.state.rotors_on and not drone.state.on_ground:
+            world.step()
+            assert drone.ring.mode is RingMode.DANGER
+
+    def test_emergency_reason_recorded(self):
+        world = World()
+        drone = airborne(world)
+        drone.trigger_emergency(world, reason="led failure")
+        assert drone.emergency_reason == "led failure"
+        events = world.log.of_kind("emergency")
+        assert events and events[-1].detail["reason"] == "led failure"
+
+
+class TestBattery:
+    def test_flight_consumes_energy(self):
+        world = World()
+        drone = airborne(world)
+        start = drone.battery.remaining_wh
+        world.run_for(10.0)
+        assert drone.battery.remaining_wh < start
+
+    def test_low_battery_triggers_emergency_landing(self):
+        world = World()
+        # Tiny battery with a large reserve: low fires quickly.
+        battery = Battery(capacity_wh=1.2, reserve_fraction=0.5)
+        drone = DroneAgent("drone", battery=battery)
+        world.add_entity(drone)
+        drone.fly_pattern(TakeOffPattern(5.0), world)
+        assert world.run_until(lambda w: drone.modes.in_emergency, timeout_s=120)
+        assert drone.emergency_reason in ("battery low", "battery depleted")
+
+
+class TestPatternQueue:
+    def test_chained_patterns_run_in_order(self):
+        world = World()
+        drone = airborne(world)
+        drone.fly_pattern(CruisePattern(destination=Vec2(5, 0)), world)
+        drone.fly_pattern(NodPattern(), world)
+        assert world.run_until(lambda w: drone.is_idle, timeout_s=120)
+        done = [e.detail["pattern"] for e in world.log.of_kind("pattern_done")]
+        assert done[-2:] == ["cruise", "nod"]
+
+    def test_abort_clears_queue(self):
+        world = World()
+        drone = airborne(world)
+        drone.fly_pattern(CruisePattern(destination=Vec2(50, 0)), world)
+        world.run_for(2.0)
+        drone.abort_patterns(world)
+        assert drone.is_idle
+        assert drone.mode is DroneMode.HOVERING
+
+    def test_empty_pattern_queue_is_idle(self):
+        world = World()
+        drone = airborne(world)
+        assert drone.is_idle
+        assert drone.current_pattern is None

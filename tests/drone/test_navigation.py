@@ -1,0 +1,89 @@
+"""Tests for the waypoint follower."""
+
+import pytest
+
+from repro.drone import NavigationConfig, WaypointFollower
+from repro.geometry import Vec3
+from repro.simulation import MultirotorBody
+
+
+def fly_to(target: Vec3, timeout_s: float = 30.0) -> tuple[MultirotorBody, WaypointFollower]:
+    body = MultirotorBody()
+    body.start_rotors()
+    body.state.on_ground = False
+    body.state.position = Vec3(0, 0, 2)
+    follower = WaypointFollower()
+    follower.set_target(target)
+    dt = 0.02
+    for _ in range(int(timeout_s / dt)):
+        body.command_velocity(follower.velocity_command(body.state, dt))
+        body.step(dt)
+        if follower.arrived(body.state):
+            break
+    return body, follower
+
+
+class TestWaypointFollower:
+    def test_reaches_target(self):
+        body, follower = fly_to(Vec3(5, -3, 4))
+        assert follower.arrived(body.state)
+        assert body.state.position.distance_to(Vec3(5, -3, 4)) < 0.5
+
+    def test_no_target_hover_command(self):
+        follower = WaypointFollower()
+        body = MultirotorBody()
+        assert follower.velocity_command(body.state, 0.02).is_close(Vec3())
+        assert not follower.arrived(body.state)
+
+    def test_combined_speed_clamped(self):
+        config = NavigationConfig(max_horizontal_speed_mps=2.0)
+        follower = WaypointFollower(config)
+        follower.set_target(Vec3(100, 100, 2))
+        body = MultirotorBody()
+        body.state.position = Vec3(0, 0, 2)
+        command = follower.velocity_command(body.state, 0.02)
+        assert command.horizontal().norm() <= 2.0 + 1e-9
+
+    def test_new_target_resets_loops(self):
+        follower = WaypointFollower()
+        body = MultirotorBody()
+        body.state.position = Vec3(0, 0, 2)
+        # Small error: the loop is unsaturated, so the integral builds.
+        follower.set_target(Vec3(0.5, 0, 2))
+        for _ in range(100):
+            follower.velocity_command(body.state, 0.02)
+        integral_before = follower._pid_x.integral
+        follower.set_target(Vec3(-10, 0, 2))
+        assert follower._pid_x.integral == 0.0
+        assert integral_before != 0.0
+
+    def test_same_target_keeps_loops(self):
+        follower = WaypointFollower()
+        body = MultirotorBody()
+        follower.set_target(Vec3(5, 0, 2))
+        follower.velocity_command(body.state, 0.02)
+        follower.set_target(Vec3(5, 0, 2))  # identical: no reset
+        # No assertion error path; the integral persists (may be zero on
+        # first steps but the reset branch must not fire).
+        assert follower.target == Vec3(5, 0, 2)
+
+    def test_clear(self):
+        follower = WaypointFollower()
+        follower.set_target(Vec3(1, 1, 1))
+        follower.clear()
+        assert follower.target is None
+
+    def test_arrival_requires_low_speed(self):
+        config = NavigationConfig()
+        follower = WaypointFollower(config)
+        follower.set_target(Vec3(0, 0, 2))
+        body = MultirotorBody()
+        body.state.position = Vec3(0, 0, 2)
+        body.state.velocity = Vec3(3, 0, 0)  # at the point but fast
+        assert not follower.arrived(body.state)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NavigationConfig(max_horizontal_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            NavigationConfig(arrival_radius_m=-1.0)

@@ -1,0 +1,164 @@
+"""Tests for the flight-pattern library (paper Section III)."""
+
+import pytest
+
+from repro.drone import (
+    COMMUNICATIVE_PATTERNS,
+    STANDARD_PATTERNS,
+    CruisePattern,
+    LandingPattern,
+    LightAction,
+    NodPattern,
+    PatternKind,
+    PokePattern,
+    RectanglePattern,
+    TakeOffPattern,
+    TurnPattern,
+)
+from repro.geometry import Polygon, Vec2, Vec3
+
+
+class TestVocabulary:
+    def test_three_standard_four_communicative(self):
+        """The paper defines exactly 3 + 4 patterns."""
+        assert len(STANDARD_PATTERNS) == 3
+        assert len(COMMUNICATIVE_PATTERNS) == 4
+        assert set(STANDARD_PATTERNS) | set(COMMUNICATIVE_PATTERNS) == set(PatternKind)
+
+    def test_communicative_flag(self):
+        assert PatternKind.POKE.is_communicative
+        assert not PatternKind.LANDING.is_communicative
+
+
+class TestTakeOff:
+    def test_vertical_only(self):
+        steps = TakeOffPattern(5.0).compile(Vec3(2, 3, 0), heading_deg=0.0)
+        lift = steps[0]
+        assert lift.target == Vec3(2, 3, 5.0)
+        assert lift.light is LightAction.NAVIGATION
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TakeOffPattern(0.0)
+
+
+class TestCruise:
+    def test_transit_to_destination(self):
+        pattern = CruisePattern(destination=Vec2(10, -5), flying_height_m=4.0)
+        steps = pattern.compile(Vec3(0, 0, 4.0), heading_deg=0.0)
+        assert steps[-1].target == Vec3(10, -5, 4.0)
+
+    def test_height_adjustment_inserted(self):
+        pattern = CruisePattern(destination=Vec2(10, 0), flying_height_m=6.0)
+        steps = pattern.compile(Vec3(0, 0, 2.0), heading_deg=0.0)
+        assert steps[0].label == "adjust_height"
+        assert steps[0].target == Vec3(0, 0, 6.0)
+
+
+class TestLanding:
+    def test_figure2_sequence(self):
+        """Figure 2: descend, settle, rotors off, lights extinguished."""
+        steps = LandingPattern().compile(Vec3(1, 1, 5), heading_deg=0.0)
+        assert [s.label for s in steps] == ["descend", "settle", "shutdown"]
+        assert steps[0].target == Vec3(1, 1, 0)
+        assert steps[2].rotors_off_after
+        assert steps[2].light is LightAction.EXTINGUISH
+
+
+class TestPoke:
+    def test_darts_towards_human_and_back(self):
+        start = Vec3(0, 0, 5)
+        steps = PokePattern(toward=Vec2(0, 10), dart_length_m=1.0, repeats=2).compile(
+            start, heading_deg=0.0
+        )
+        assert len(steps) == 4
+        assert steps[0].target.is_close(Vec3(0, 1, 5), tol=1e-9)
+        assert steps[1].target == start
+        assert steps[1].hold_s > 0
+
+    def test_never_reaches_human(self):
+        # The dart length stays well inside the safe distance.
+        start = Vec3(0, 0, 5)
+        steps = PokePattern(toward=Vec2(0, 3), dart_length_m=1.0).compile(start, 0.0)
+        for step in steps:
+            if step.target is not None:
+                assert step.target.horizontal().distance_to(Vec2(0, 3)) >= 1.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PokePattern(dart_length_m=0.0)
+        with pytest.raises(ValueError):
+            PokePattern(repeats=0)
+
+
+class TestNod:
+    def test_bobs_and_returns(self):
+        start = Vec3(0, 0, 5)
+        steps = NodPattern(amplitude_m=0.6, repeats=3).compile(start, 0.0)
+        downs = [s for s in steps if s.label.startswith("nod_down")]
+        ups = [s for s in steps if s.label.startswith("nod_up")]
+        assert len(downs) == len(ups) == 3
+        for down in downs:
+            assert down.target.z == pytest.approx(4.4)
+        for up in ups:
+            assert up.target == start
+
+    def test_tight_arrival_radius(self):
+        steps = NodPattern().compile(Vec3(0, 0, 5), 0.0)
+        assert all(
+            s.arrival_radius_m is not None for s in steps if s.target is not None
+        )
+
+
+class TestTurn:
+    def test_swings_and_recentres(self):
+        steps = TurnPattern(swing_deg=45.0, repeats=2).compile(Vec3(0, 0, 5), 90.0)
+        headings = [s.heading_deg for s in steps if s.heading_deg is not None]
+        assert 45.0 in headings and 135.0 in headings
+        assert headings[-1] == 90.0
+
+    def test_position_held(self):
+        start = Vec3(1, 2, 5)
+        steps = TurnPattern().compile(start, 0.0)
+        for step in steps:
+            if step.target is not None:
+                assert step.target == start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TurnPattern(swing_deg=0.0)
+        with pytest.raises(ValueError):
+            TurnPattern(swing_deg=120.0)
+
+
+class TestRectangle:
+    def test_corners_enclose_start(self):
+        start = Vec3(0, 0, 5)
+        steps = RectanglePattern(width_m=2.0, depth_m=1.4).compile(start, 0.0)
+        corners = [s.target.horizontal() for s in steps if "corner" in s.label]
+        assert len(corners) == 4
+        polygon = Polygon(corners)
+        assert polygon.contains(Vec2(0, 0))
+        assert polygon.area() == pytest.approx(2.0 * 1.4)
+
+    def test_returns_to_start(self):
+        start = Vec3(3, 3, 5)
+        steps = RectanglePattern().compile(start, 0.0)
+        assert steps[-1].target == start
+
+    def test_constant_altitude(self):
+        steps = RectanglePattern().compile(Vec3(0, 0, 5), 30.0)
+        for step in steps:
+            if step.target is not None:
+                assert step.target.z == 5.0
+
+    def test_laps(self):
+        steps = RectanglePattern(laps=2).compile(Vec3(0, 0, 5), 0.0)
+        corners = [s for s in steps if "corner" in s.label]
+        assert len(corners) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectanglePattern(width_m=0.0)
+        with pytest.raises(ValueError):
+            RectanglePattern(laps=0)

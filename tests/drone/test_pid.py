@@ -1,0 +1,72 @@
+"""Tests for the PID controller."""
+
+import pytest
+
+from repro.drone import PidController, PidGains
+
+
+class TestPidController:
+    def test_proportional_only(self):
+        pid = PidController(PidGains(kp=2.0), output_limit=100.0)
+        assert pid.update(3.0, 0.1) == pytest.approx(6.0)
+
+    def test_output_clamped(self):
+        pid = PidController(PidGains(kp=10.0), output_limit=5.0)
+        assert pid.update(100.0, 0.1) == 5.0
+        assert pid.update(-100.0, 0.1) == -5.0
+
+    def test_integral_accumulates(self):
+        pid = PidController(PidGains(kp=0.0, ki=1.0), output_limit=10.0)
+        out1 = pid.update(1.0, 1.0)
+        out2 = pid.update(1.0, 1.0)
+        assert out2 > out1
+        assert pid.integral == pytest.approx(2.0)
+
+    def test_integral_clamped(self):
+        pid = PidController(
+            PidGains(kp=0.0, ki=10.0), output_limit=100.0, integral_limit=2.0
+        )
+        for _ in range(100):
+            pid.update(1.0, 1.0)
+        assert pid.integral <= 2.0
+
+    def test_anti_windup_stops_integration_when_saturated(self):
+        pid = PidController(PidGains(kp=10.0, ki=1.0), output_limit=1.0)
+        for _ in range(50):
+            pid.update(10.0, 0.1)  # heavily saturated
+        assert pid.integral == pytest.approx(0.0, abs=1e-9)
+
+    def test_derivative_damps(self):
+        pid = PidController(PidGains(kp=0.0, kd=1.0), output_limit=10.0)
+        pid.update(0.0, 0.1)
+        out = pid.update(1.0, 0.1)  # error rising fast
+        assert out > 0
+
+    def test_derivative_needs_history(self):
+        pid = PidController(PidGains(kp=0.0, kd=5.0), output_limit=10.0)
+        assert pid.update(3.0, 0.1) == 0.0  # first call: no derivative
+
+    def test_reset(self):
+        pid = PidController(PidGains(kp=1.0, ki=1.0, kd=1.0), output_limit=10.0)
+        pid.update(1.0, 1.0)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.update(2.0, 0.1) == pytest.approx(2.0 + 0.2)  # P + I only
+
+    def test_closed_loop_converges(self):
+        # Simple first-order plant: x' = u.
+        pid = PidController(PidGains(kp=2.0, ki=0.4, kd=0.1), output_limit=5.0)
+        x, target, dt = 0.0, 3.0, 0.02
+        for _ in range(2000):
+            u = pid.update(target - x, dt)
+            x += u * dt
+        assert x == pytest.approx(target, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PidGains(kp=-1.0)
+        with pytest.raises(ValueError):
+            PidController(PidGains(kp=1.0), output_limit=0.0)
+        pid = PidController(PidGains(kp=1.0), output_limit=1.0)
+        with pytest.raises(ValueError):
+            pid.update(1.0, 0.0)

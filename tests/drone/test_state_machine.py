@@ -1,0 +1,80 @@
+"""Tests for the flight-mode state machine."""
+
+import pytest
+
+from repro.drone import DroneMode, FlightModeMachine, ModeTransitionError
+
+
+class TestFlightModeMachine:
+    def test_starts_parked(self):
+        assert FlightModeMachine().mode is DroneMode.PARKED
+
+    def test_normal_flight_cycle(self):
+        fsm = FlightModeMachine()
+        for mode in (
+            DroneMode.TAKING_OFF,
+            DroneMode.HOVERING,
+            DroneMode.CRUISING,
+            DroneMode.HOVERING,
+            DroneMode.COMMUNICATING,
+            DroneMode.HOVERING,
+            DroneMode.LANDING,
+            DroneMode.PARKED,
+        ):
+            fsm.transition(mode, time_s=1.0)
+        assert fsm.mode is DroneMode.PARKED
+
+    def test_illegal_transition_raises(self):
+        fsm = FlightModeMachine()
+        with pytest.raises(ModeTransitionError):
+            fsm.transition(DroneMode.CRUISING)  # parked -> cruising
+
+    def test_cannot_communicate_while_cruising(self):
+        fsm = FlightModeMachine()
+        fsm.transition(DroneMode.TAKING_OFF)
+        fsm.transition(DroneMode.HOVERING)
+        fsm.transition(DroneMode.CRUISING)
+        with pytest.raises(ModeTransitionError):
+            fsm.transition(DroneMode.COMMUNICATING)
+
+    def test_emergency_reachable_from_flight_modes(self):
+        for start in (
+            DroneMode.TAKING_OFF,
+            DroneMode.HOVERING,
+            DroneMode.CRUISING,
+            DroneMode.COMMUNICATING,
+            DroneMode.LANDING,
+        ):
+            fsm = FlightModeMachine(mode=start)
+            fsm.transition(DroneMode.EMERGENCY)
+            assert fsm.in_emergency
+
+    def test_emergency_only_exits_to_parked(self):
+        fsm = FlightModeMachine(mode=DroneMode.EMERGENCY)
+        with pytest.raises(ModeTransitionError):
+            fsm.transition(DroneMode.HOVERING)
+        fsm.transition(DroneMode.PARKED)
+        assert fsm.mode is DroneMode.PARKED
+
+    def test_self_transition_is_noop(self):
+        fsm = FlightModeMachine()
+        fsm.transition(DroneMode.PARKED)
+        assert fsm.history == []
+
+    def test_history_recorded(self):
+        fsm = FlightModeMachine()
+        fsm.transition(DroneMode.TAKING_OFF, time_s=1.5)
+        fsm.transition(DroneMode.HOVERING, time_s=4.0)
+        assert fsm.history == [(1.5, DroneMode.TAKING_OFF), (4.0, DroneMode.HOVERING)]
+
+    def test_airborne_flag(self):
+        fsm = FlightModeMachine()
+        assert not fsm.airborne
+        fsm.transition(DroneMode.TAKING_OFF)
+        assert fsm.airborne
+
+    def test_can_transition_query(self):
+        fsm = FlightModeMachine()
+        assert fsm.can_transition(DroneMode.TAKING_OFF)
+        assert fsm.can_transition(DroneMode.PARKED)  # self
+        assert not fsm.can_transition(DroneMode.LANDING)

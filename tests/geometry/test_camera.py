@@ -1,0 +1,101 @@
+"""Tests for the pin-hole camera and the paper's observation geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import CameraIntrinsics, PinholeCamera, Vec3, observation_camera
+
+
+class TestIntrinsics:
+    def test_principal_point_is_centre(self):
+        k = CameraIntrinsics(width=200, height=100, focal_px=150.0)
+        assert k.cx == 100.0
+        assert k.cy == 50.0
+
+    def test_fov_roundtrip(self):
+        k = CameraIntrinsics.from_fov(320, 240, horizontal_fov_deg=60.0)
+        assert k.horizontal_fov_deg == pytest.approx(60.0)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(width=0, height=100, focal_px=10)
+        with pytest.raises(ValueError):
+            CameraIntrinsics(width=10, height=10, focal_px=-1)
+        with pytest.raises(ValueError):
+            CameraIntrinsics.from_fov(100, 100, 180.0)
+
+
+class TestPinholeCamera:
+    def test_target_projects_to_centre(self):
+        cam = PinholeCamera(position=Vec3(0, -5, 2), target=Vec3(0, 0, 1))
+        col, row, depth = cam.project_point(Vec3(0, 0, 1))
+        assert col == pytest.approx(cam.intrinsics.cx)
+        assert row == pytest.approx(cam.intrinsics.cy)
+        assert depth == pytest.approx(math.sqrt(25 + 1))
+
+    def test_point_above_target_projects_above_centre(self):
+        cam = PinholeCamera(position=Vec3(0, -5, 1), target=Vec3(0, 0, 1))
+        _, row, _ = cam.project_point(Vec3(0, 0, 2))
+        # Rows grow downward, so "above" means a smaller row index.
+        assert row < cam.intrinsics.cy
+
+    def test_point_right_of_target(self):
+        cam = PinholeCamera(position=Vec3(0, -5, 1), target=Vec3(0, 0, 1))
+        # From the camera at -y looking at +y, world +x is to its right.
+        col, _, _ = cam.project_point(Vec3(1, 0, 1))
+        assert col > cam.intrinsics.cx
+
+    def test_behind_camera_gets_negative_depth(self):
+        cam = PinholeCamera(position=Vec3(0, -5, 1), target=Vec3(0, 0, 1))
+        _, _, depth = cam.project_point(Vec3(0, -10, 1))
+        assert depth < 0
+
+    def test_coincident_position_target_raises(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(position=Vec3(1, 1, 1), target=Vec3(1, 1, 1))
+
+    def test_pixels_per_metre_decreases_with_distance(self):
+        near = PinholeCamera(position=Vec3(0, -3, 1), target=Vec3(0, 0, 1))
+        far = PinholeCamera(position=Vec3(0, -10, 1), target=Vec3(0, 0, 1))
+        assert near.pixels_per_metre_at(Vec3(0, 0, 1)) > far.pixels_per_metre_at(
+            Vec3(0, 0, 1)
+        )
+
+    def test_project_points_shape_validation(self):
+        cam = PinholeCamera(position=Vec3(0, -5, 1), target=Vec3(0, 0, 1))
+        with pytest.raises(ValueError):
+            cam.project_points(np.zeros((2, 2)))
+
+    def test_rotation_matrix_is_orthonormal(self):
+        cam = PinholeCamera(position=Vec3(3, -5, 4), target=Vec3(0, 0, 1))
+        rot = cam.rotation_world_to_camera()
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+
+class TestObservationCamera:
+    def test_paper_configuration_geometry(self):
+        # Altitude 5 m, distance 3 m, full-on: drone on the +y axis.
+        cam = observation_camera(5.0, 3.0, 0.0)
+        assert cam.position.is_close(Vec3(0, 3, 5), tol=1e-12)
+
+    def test_azimuth_moves_around_the_signaller(self):
+        cam = observation_camera(5.0, 3.0, 90.0)
+        assert cam.position.is_close(Vec3(3, 0, 5), tol=1e-9)
+
+    def test_horizontal_distance_is_preserved(self):
+        for az in (0.0, 30.0, 65.0, 120.0):
+            cam = observation_camera(4.0, 3.0, az)
+            assert cam.position.horizontal().norm() == pytest.approx(3.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            observation_camera(5.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            observation_camera(-1.0, 3.0, 0.0)
+
+    def test_default_target_is_torso(self):
+        cam = observation_camera(5.0, 3.0, 0.0)
+        assert cam.target.z == pytest.approx(1.1)

@@ -1,0 +1,130 @@
+"""Tests for polygons and the convex hull."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon, Vec2, convex_hull
+
+
+def unit_square() -> Polygon:
+    return Polygon([Vec2(0, 0), Vec2(1, 0), Vec2(1, 1), Vec2(0, 1)])
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Vec2(0, 0), Vec2(1, 1)])
+
+    def test_area_of_unit_square(self):
+        assert unit_square().area() == 1.0
+
+    def test_signed_area_winding(self):
+        ccw = unit_square()
+        cw = Polygon(list(reversed(ccw.vertices)))
+        assert ccw.signed_area() > 0
+        assert cw.signed_area() < 0
+        assert cw.area() == ccw.area()
+
+    def test_perimeter(self):
+        assert unit_square().perimeter() == 4.0
+
+    def test_centroid(self):
+        c = unit_square().centroid()
+        assert c.is_close(Vec2(0.5, 0.5), tol=1e-12)
+
+    def test_contains(self):
+        square = unit_square()
+        assert square.contains(Vec2(0.5, 0.5))
+        assert not square.contains(Vec2(1.5, 0.5))
+        assert not square.contains(Vec2(-0.1, 0.5))
+
+    def test_distance_to_boundary(self):
+        square = unit_square()
+        assert square.distance_to_boundary(Vec2(0.5, 0.5)) == pytest.approx(0.5)
+        assert square.distance_to_boundary(Vec2(2.0, 0.5)) == pytest.approx(1.0)
+
+    def test_bounding_box(self):
+        low, high = unit_square().bounding_box()
+        assert low == Vec2(0, 0)
+        assert high == Vec2(1, 1)
+
+    def test_expanded_grows_area(self):
+        grown = unit_square().expanded(0.5)
+        assert grown.area() > unit_square().area()
+
+    def test_rectangle_factory(self):
+        rect = Polygon.rectangle(Vec2(0, 0), width=4, height=2)
+        assert rect.area() == pytest.approx(8.0)
+        assert rect.centroid().is_close(Vec2(0, 0), tol=1e-9)
+
+    def test_rotated_rectangle_same_area(self):
+        rect = Polygon.rectangle(Vec2(1, 1), 4, 2, angle_rad=math.pi / 3)
+        assert rect.area() == pytest.approx(8.0)
+
+    def test_regular_polygon_approaches_circle(self):
+        poly = Polygon.regular(Vec2(0, 0), radius=1.0, sides=256)
+        assert poly.area() == pytest.approx(math.pi, rel=1e-3)
+
+    def test_regular_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Vec2(0, 0), 1.0, sides=2)
+        with pytest.raises(ValueError):
+            Polygon.regular(Vec2(0, 0), -1.0, sides=5)
+
+    @given(
+        w=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        h=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        angle=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    def test_rectangle_area_invariant_under_rotation(self, w, h, angle):
+        rect = Polygon.rectangle(Vec2(3, -2), w, h, angle)
+        assert rect.area() == pytest.approx(w * h, rel=1e-9)
+
+    @given(
+        cx=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        cy=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    def test_rectangle_contains_its_centre(self, cx, cy):
+        rect = Polygon.rectangle(Vec2(cx, cy), 2.0, 2.0)
+        assert rect.contains(Vec2(cx, cy))
+
+
+class TestConvexHull:
+    def test_hull_of_square_plus_interior(self):
+        points = [Vec2(0, 0), Vec2(1, 0), Vec2(1, 1), Vec2(0, 1), Vec2(0.5, 0.5)]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert Vec2(0.5, 0.5) not in hull
+
+    def test_hull_of_collinear_points(self):
+        points = [Vec2(0, 0), Vec2(1, 1), Vec2(2, 2)]
+        hull = convex_hull(points)
+        assert len(hull) <= 2 or all(p.cross(hull[0]) is not None for p in hull)
+
+    def test_hull_small_inputs(self):
+        assert convex_hull([Vec2(1, 1)]) == [Vec2(1, 1)]
+        assert len(convex_hull([Vec2(0, 0), Vec2(1, 0)])) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    def test_hull_contains_all_points(self, raw):
+        points = [Vec2(x, y) for x, y in raw]
+        hull = convex_hull(points)
+        if len(hull) < 3:
+            return  # degenerate input (collinear)
+        poly = Polygon(hull)
+        for p in points:
+            inside = poly.contains(p)
+            on_boundary = poly.distance_to_boundary(p) < 1e-6
+            assert inside or on_boundary

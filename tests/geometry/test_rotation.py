@@ -1,0 +1,107 @@
+"""Tests for angle wrapping and Rot2 group behaviour."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rot2,
+    Vec2,
+    angle_difference,
+    degrees_difference,
+    heading_to_math_angle,
+    math_angle_to_heading,
+    wrap_angle,
+    wrap_degrees,
+)
+
+angles = st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False)
+
+
+class TestWrapping:
+    def test_wrap_angle_range(self):
+        assert wrap_angle(0.0) == 0.0
+        assert wrap_angle(math.pi) == pytest.approx(math.pi)
+        assert wrap_angle(-math.pi) == pytest.approx(math.pi)
+        assert wrap_angle(3 * math.pi) == pytest.approx(math.pi)
+
+    def test_wrap_degrees_range(self):
+        assert wrap_degrees(0.0) == 0.0
+        assert wrap_degrees(360.0) == 0.0
+        assert wrap_degrees(-90.0) == 270.0
+        assert wrap_degrees(725.0) == pytest.approx(5.0)
+
+    def test_angle_difference_signs(self):
+        assert angle_difference(0.1, 0.0) == pytest.approx(0.1)
+        assert angle_difference(0.0, 0.1) == pytest.approx(-0.1)
+        # Crossing the wrap point takes the short way.
+        assert angle_difference(math.pi - 0.05, -math.pi + 0.05) == pytest.approx(-0.1)
+
+    def test_degrees_difference(self):
+        assert degrees_difference(350.0, 10.0) == pytest.approx(-20.0)
+        assert degrees_difference(10.0, 350.0) == pytest.approx(20.0)
+
+    @given(a=angles)
+    def test_wrap_angle_idempotent(self, a):
+        once = wrap_angle(a)
+        assert wrap_angle(once) == pytest.approx(once)
+        assert -math.pi < once <= math.pi
+
+    @given(a=angles)
+    def test_wrap_degrees_in_range(self, a):
+        assert 0.0 <= wrap_degrees(a) < 360.0
+
+
+class TestHeadingConversion:
+    def test_north_heading_is_plus_y(self):
+        angle = heading_to_math_angle(0.0)
+        v = Vec2.from_polar(1.0, angle)
+        assert v.is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_east_heading_is_plus_x(self):
+        angle = heading_to_math_angle(90.0)
+        v = Vec2.from_polar(1.0, angle)
+        assert v.is_close(Vec2(1, 0), tol=1e-12)
+
+    @given(h=st.floats(min_value=0.0, max_value=359.999, allow_nan=False))
+    def test_roundtrip(self, h):
+        assert math_angle_to_heading(heading_to_math_angle(h)) == pytest.approx(
+            h, abs=1e-9
+        )
+
+
+class TestRot2:
+    def test_identity(self):
+        v = Vec2(3, 4)
+        assert Rot2.identity().apply(v) == v
+
+    def test_quarter_turn(self):
+        r = Rot2.from_degrees(90.0)
+        assert r.apply(Vec2(1, 0)).is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_composition_order(self):
+        a, b = Rot2(0.3), Rot2(0.5)
+        v = Vec2(1, 2)
+        assert (a @ b).apply(v).is_close(a.apply(b.apply(v)), tol=1e-12)
+
+    def test_inverse(self):
+        r = Rot2(0.7)
+        assert (r @ r.inverse()).is_close(Rot2.identity())
+
+    def test_degrees_property(self):
+        assert Rot2.from_degrees(45.0).degrees == pytest.approx(45.0)
+
+    @given(a=angles, b=angles)
+    def test_group_associativity_on_vectors(self, a, b):
+        v = Vec2(1.0, -2.0)
+        lhs = (Rot2(a) @ Rot2(b)).apply(v)
+        rhs = Rot2(a).apply(Rot2(b).apply(v))
+        assert lhs.is_close(rhs, tol=1e-6)
+
+    @given(a=angles)
+    def test_inverse_cancels(self, a):
+        v = Vec2(0.5, 1.5)
+        restored = Rot2(a).inverse().apply(Rot2(a).apply(v))
+        assert restored.is_close(v, tol=1e-9)

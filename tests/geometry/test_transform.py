@@ -1,0 +1,62 @@
+"""Tests for rigid 2-D transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rot2, Transform2, Vec2
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+class TestTransform2:
+    def test_identity(self):
+        p = Vec2(2, 3)
+        assert Transform2.identity().apply(p) == p
+
+    def test_translation_only(self):
+        t = Transform2(Rot2.identity(), Vec2(1, -1))
+        assert t.apply(Vec2(2, 3)) == Vec2(3, 2)
+
+    def test_rotation_then_translation(self):
+        t = Transform2(Rot2.from_degrees(90.0), Vec2(10, 0))
+        result = t.apply(Vec2(1, 0))
+        assert result.is_close(Vec2(10, 1), tol=1e-12)
+
+    def test_composition_matches_sequential_application(self):
+        a = Transform2.from_parts(0.4, 1.0, 2.0)
+        b = Transform2.from_parts(-0.7, -3.0, 0.5)
+        p = Vec2(0.3, -0.9)
+        assert (a @ b).apply(p).is_close(a.apply(b.apply(p)), tol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        t = Transform2.from_parts(1.1, 4.0, -2.0)
+        p = Vec2(5, 6)
+        assert t.inverse().apply(t.apply(p)).is_close(p, tol=1e-9)
+
+    def test_apply_many_matches_apply(self):
+        t = Transform2.from_parts(0.6, 1.5, -0.5)
+        points = np.array([[0.0, 0.0], [1.0, 2.0], [-3.0, 4.0]])
+        batch = t.apply_many(points)
+        for row, (x, y) in zip(batch, points):
+            single = t.apply(Vec2(x, y))
+            assert single.is_close(Vec2(row[0], row[1]), tol=1e-12)
+
+    def test_apply_many_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Transform2.identity().apply_many(np.zeros((3, 3)))
+
+    @given(angle=angles, tx=coords, ty=coords, px=coords, py=coords)
+    def test_rigidity_preserves_distance(self, angle, tx, ty, px, py):
+        t = Transform2.from_parts(angle, tx, ty)
+        p, q = Vec2(px, py), Vec2(py, px)
+        original = p.distance_to(q)
+        transformed = t.apply(p).distance_to(t.apply(q))
+        assert transformed == pytest.approx(original, rel=1e-9, abs=1e-6)
+
+    @given(angle=angles, tx=coords, ty=coords)
+    def test_inverse_composes_to_identity(self, angle, tx, ty):
+        t = Transform2.from_parts(angle, tx, ty)
+        assert (t @ t.inverse()).is_close(Transform2.identity(), tol=1e-6)

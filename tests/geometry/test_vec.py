@@ -1,0 +1,137 @@
+"""Unit and property tests for Vec2/Vec3."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2, Vec3
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestVec2:
+    def test_addition_and_subtraction(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_operations(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+        assert Vec2(3, 6) / 3 == Vec2(1, 2)
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(2, 3).dot(Vec2(4, 5)) == 23.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(3, 4).norm_sq() == 25.0
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+
+    def test_normalized(self):
+        unit = Vec2(3, 4).normalized()
+        assert unit.norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).normalized()
+
+    def test_angle(self):
+        assert Vec2(1, 0).angle() == pytest.approx(0.0)
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Vec2(1, 0).rotated(math.pi / 2)
+        assert rotated.is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_perpendicular(self):
+        assert Vec2(1, 0).perpendicular() == Vec2(0, 1)
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(2, 4)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(1, 2)
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi / 2)
+        assert v.is_close(Vec2(0, 2), tol=1e-12)
+
+    def test_as_array(self):
+        arr = Vec2(1.5, -2.5).as_array()
+        assert arr.dtype == np.float64
+        assert list(arr) == [1.5, -2.5]
+
+    def test_iteration_unpacks(self):
+        x, y = Vec2(5, 7)
+        assert (x, y) == (5, 7)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Vec2(1, 2).x = 5  # type: ignore[misc]
+
+    @given(x=finite, y=finite)
+    def test_rotation_preserves_norm(self, x, y):
+        v = Vec2(x, y)
+        rotated = v.rotated(1.234)
+        assert rotated.norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-9)
+
+    @given(x=finite, y=finite, a=finite, b=finite)
+    def test_addition_commutes(self, x, y, a, b):
+        assert (Vec2(x, y) + Vec2(a, b)).is_close(Vec2(a, b) + Vec2(x, y))
+
+    @given(x=finite, y=finite)
+    def test_cross_with_self_is_zero(self, x, y):
+        assert Vec2(x, y).cross(Vec2(x, y)) == 0.0
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+        assert Vec3(1, 2, 3) * 2 == Vec3(2, 4, 6)
+        assert Vec3(2, 4, 6) / 2 == Vec3(1, 2, 3)
+
+    def test_cross_product_right_handed(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_norm(self):
+        assert Vec3(2, 3, 6).norm() == 7.0
+
+    def test_horizontal_projection(self):
+        assert Vec3(1, 2, 3).horizontal() == Vec2(1, 2)
+
+    def test_with_z(self):
+        assert Vec3(1, 2, 3).with_z(9) == Vec3(1, 2, 9)
+
+    def test_from_vec2(self):
+        assert Vec3.from_vec2(Vec2(1, 2), 5.0) == Vec3(1, 2, 5)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3().normalized()
+
+    def test_lerp(self):
+        assert Vec3(0, 0, 0).lerp(Vec3(2, 4, 6), 0.5) == Vec3(1, 2, 3)
+
+    @given(x=finite, y=finite, z=finite)
+    def test_cross_self_is_zero(self, x, y, z):
+        v = Vec3(x, y, z)
+        assert v.cross(v).is_close(Vec3(), tol=1e-6)
+
+    @given(x=finite, y=finite, z=finite, a=finite, b=finite, c=finite)
+    def test_cross_is_orthogonal(self, x, y, z, a, b, c):
+        u, v = Vec3(x, y, z), Vec3(a, b, c)
+        w = u.cross(v)
+        # Orthogonality within floating error scaled by magnitudes.
+        scale = max(1.0, u.norm() * v.norm())
+        assert abs(w.dot(u)) / scale < 1e-6
+        assert abs(w.dot(v)) / scale < 1e-6

@@ -1,0 +1,86 @@
+"""Tests for dynamic marshalling signals (paper future work)."""
+
+import pytest
+
+from repro.human import (
+    BUILTIN_DYNAMIC_SIGNS,
+    MOVE_UPWARD,
+    WAVE_OFF,
+    ArmAngles,
+    DynamicSign,
+    MarshallingSign,
+)
+
+
+class TestArmAngles:
+    def test_for_sign_matches_pose_table(self):
+        angles = ArmAngles.for_sign(MarshallingSign.YES)
+        assert angles.right_upper_deg == 135.0
+        assert angles.left_upper_deg == 135.0
+
+    def test_interpolation_endpoints(self):
+        a = ArmAngles(0, 0, 0, 0)
+        b = ArmAngles(100, 80, 60, 40)
+        assert a.interpolated(b, 0.0) == a
+        assert a.interpolated(b, 1.0) == b
+        mid = a.interpolated(b, 0.5)
+        assert mid.right_upper_deg == 50.0
+        assert mid.left_fore_deg == 20.0
+
+
+class TestDynamicSign:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicSign("bad", (ArmAngles(0, 0, 0, 0),), 1.0)
+        with pytest.raises(ValueError):
+            DynamicSign(
+                "bad",
+                (ArmAngles(0, 0, 0, 0), ArmAngles(1, 1, 1, 1)),
+                0.0,
+            )
+
+    def test_phase_wraps(self):
+        assert WAVE_OFF.phase_at(0.0) == 0.0
+        assert WAVE_OFF.phase_at(WAVE_OFF.period_s) == 0.0
+        assert 0.0 < WAVE_OFF.phase_at(WAVE_OFF.period_s * 0.25) < 0.5
+
+    def test_arms_at_keyframe_instants(self):
+        # At t = 0 the pose is exactly keyframe 0; at half the period it
+        # is exactly keyframe 1 (two keyframes).
+        assert WAVE_OFF.arms_at(0.0) == WAVE_OFF.keyframes[0]
+        assert WAVE_OFF.arms_at(WAVE_OFF.period_s / 2) == WAVE_OFF.keyframes[1]
+
+    def test_arms_interpolate_between_keyframes(self):
+        quarter = WAVE_OFF.arms_at(WAVE_OFF.period_s / 4)
+        k0, k1 = WAVE_OFF.keyframes
+        assert min(k0.right_fore_deg, k1.right_fore_deg) < quarter.right_fore_deg < max(
+            k0.right_fore_deg, k1.right_fore_deg
+        )
+
+    def test_keyframe_index_rounds_to_nearest(self):
+        assert WAVE_OFF.keyframe_index_at(0.0) == 0
+        assert WAVE_OFF.keyframe_index_at(WAVE_OFF.period_s / 2) == 1
+
+    def test_pose_at_animates(self):
+        pose_start = WAVE_OFF.pose_at(0.0)
+        pose_half = WAVE_OFF.pose_at(WAVE_OFF.period_s / 2)
+        wrists_start = [b.end for b in pose_start.bones if "forearm" in b.name]
+        wrists_half = [b.end for b in pose_half.bones if "forearm" in b.name]
+        assert wrists_start != wrists_half
+
+    def test_expected_label_cycle(self):
+        assert WAVE_OFF.expected_label_cycle() == ["wave_off#0", "wave_off#1"]
+
+    def test_builtin_vocabulary_distinct(self):
+        """No keyframe pose may be shared across the vocabulary (a
+        shared pose is unclassifiable under the margin rule)."""
+        seen = []
+        for sign in BUILTIN_DYNAMIC_SIGNS:
+            for keyframe in sign.keyframes:
+                for other in seen:
+                    deltas = [
+                        abs(keyframe.right_upper_deg - other.right_upper_deg),
+                        abs(keyframe.left_upper_deg - other.left_upper_deg),
+                    ]
+                    assert max(deltas) > 10.0, "two keyframes nearly coincide"
+                seen.append(keyframe)

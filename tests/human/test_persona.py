@@ -1,0 +1,109 @@
+"""Tests for the persona behaviour models."""
+
+import random
+
+import pytest
+
+from repro.human import (
+    SUPERVISOR,
+    VISITOR,
+    WORKER,
+    MarshallingSign,
+    Persona,
+    TrainingLevel,
+)
+
+
+class TestPersonaDefinitions:
+    def test_three_canonical_personas(self):
+        assert SUPERVISOR.training is TrainingLevel.TRAINED
+        assert WORKER.training is TrainingLevel.PARTIALLY_TRAINED
+        assert VISITOR.training is TrainingLevel.UNTRAINED
+
+    def test_training_orders_reliability(self):
+        """More training -> more reliable on every axis the paper cares
+        about."""
+        assert (
+            SUPERVISOR.correct_sign_probability
+            > WORKER.correct_sign_probability
+            > VISITOR.correct_sign_probability
+        )
+        assert SUPERVISOR.mean_delay_s < WORKER.mean_delay_s < VISITOR.mean_delay_s
+        assert SUPERVISOR.max_lean_deg < WORKER.max_lean_deg < VISITOR.max_lean_deg
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            Persona(
+                name="bad",
+                training=TrainingLevel.TRAINED,
+                notice_probability=1.5,
+                response_probability=1.0,
+                correct_sign_probability=1.0,
+                mean_delay_s=1.0,
+                delay_jitter_s=0.1,
+                max_lean_deg=1.0,
+                grants_space_probability=0.5,
+            )
+
+
+class TestReactionSampling:
+    def test_supervisor_nearly_always_correct(self):
+        rng = random.Random(0)
+        correct = 0
+        for _ in range(300):
+            sample = SUPERVISOR.sample_reaction(MarshallingSign.ATTENTION, rng)
+            if sample.sign is MarshallingSign.ATTENTION:
+                correct += 1
+        assert correct > 280
+
+    def test_visitor_often_fails_to_respond(self):
+        rng = random.Random(1)
+        silent = 0
+        for _ in range(300):
+            sample = VISITOR.sample_reaction(MarshallingSign.ATTENTION, rng)
+            if sample.sign is MarshallingSign.IDLE:
+                silent += 1
+        # notice 0.8 * respond 0.55 -> ~44% respond; most runs are silent.
+        assert silent > 120
+
+    def test_wrong_sign_is_still_communicative(self):
+        """Errors show a DIFFERENT sign, never IDLE — the dangerous
+        confusion the margin rule protects against."""
+        error_persona = Persona(
+            name="always wrong",
+            training=TrainingLevel.UNTRAINED,
+            notice_probability=1.0,
+            response_probability=1.0,
+            correct_sign_probability=0.0,
+            mean_delay_s=1.0,
+            delay_jitter_s=0.0,
+            max_lean_deg=0.0,
+            grants_space_probability=0.5,
+        )
+        rng = random.Random(2)
+        for _ in range(50):
+            sample = error_persona.sample_reaction(MarshallingSign.YES, rng)
+            assert sample.sign is not MarshallingSign.YES
+            assert sample.sign.is_communicative
+
+    def test_delay_has_floor(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            sample = SUPERVISOR.sample_reaction(MarshallingSign.YES, rng)
+            if sample.sign.is_communicative:
+                assert sample.delay_s >= 0.3
+
+    def test_lean_bounded_by_persona(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            sample = VISITOR.sample_reaction(MarshallingSign.NO, rng)
+            assert abs(sample.lean_deg) <= VISITOR.max_lean_deg
+
+    def test_decide_space_request_rates(self):
+        rng = random.Random(5)
+        grants = sum(
+            1
+            for _ in range(1000)
+            if SUPERVISOR.decide_space_request(rng) is MarshallingSign.YES
+        )
+        assert grants == pytest.approx(900, abs=60)

@@ -1,0 +1,104 @@
+"""Tests for the silhouette renderer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CameraIntrinsics, PinholeCamera, Vec3, observation_camera
+from repro.human import (
+    MarshallingSign,
+    RenderSettings,
+    pose_for_sign,
+    render_frame,
+    render_silhouette,
+)
+from repro.vision import label_components_fast
+
+
+class TestSilhouette:
+    def test_figure_visible_at_canonical_viewpoint(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        mask = render_silhouette(pose_for_sign(MarshallingSign.IDLE), camera)
+        assert mask.foreground_count() > 300
+
+    def test_single_connected_component(self):
+        """The whole figure must raster as one blob (else the contour
+        tracer sees only a body part)."""
+        camera = observation_camera(5.0, 3.0, 0.0)
+        for sign in MarshallingSign:
+            mask = render_silhouette(pose_for_sign(sign), camera)
+            components = label_components_fast(mask, min_area=5)
+            assert len(components) == 1, f"{sign} split into {len(components)} parts"
+
+    def test_signs_produce_different_masks(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        yes = render_silhouette(pose_for_sign(MarshallingSign.YES), camera)
+        no = render_silhouette(pose_for_sign(MarshallingSign.NO), camera)
+        assert yes.iou(no) < 0.95
+
+    def test_azimuth_foreshortening_shrinks_width(self):
+        frontal = render_silhouette(
+            pose_for_sign(MarshallingSign.YES), observation_camera(5.0, 3.0, 0.0)
+        )
+        side = render_silhouette(
+            pose_for_sign(MarshallingSign.YES), observation_camera(5.0, 3.0, 80.0)
+        )
+        front_bbox = frontal.bounding_box()
+        side_bbox = side.bounding_box()
+        assert front_bbox is not None and side_bbox is not None
+        assert side_bbox[3] < front_bbox[3]  # narrower from the side
+
+    def test_pose_behind_camera_renders_empty(self):
+        camera = PinholeCamera(position=Vec3(0, -3, 2), target=Vec3(0, -6, 1))
+        mask = render_silhouette(pose_for_sign(MarshallingSign.IDLE), camera)
+        assert mask.is_empty()
+
+    def test_distance_shrinks_figure(self):
+        near = render_silhouette(
+            pose_for_sign(MarshallingSign.IDLE), observation_camera(3.0, 2.0, 0.0)
+        )
+        far = render_silhouette(
+            pose_for_sign(MarshallingSign.IDLE), observation_camera(3.0, 8.0, 0.0)
+        )
+        assert near.foreground_count() > 2 * far.foreground_count()
+
+
+class TestFrame:
+    def test_dark_figure_bright_background(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        pose = pose_for_sign(MarshallingSign.IDLE)
+        frame = render_frame(pose, camera, RenderSettings(noise_sigma=0.0))
+        mask = render_silhouette(pose, camera)
+        figure_mean = frame.pixels[mask.pixels].mean()
+        background_mean = frame.pixels[~mask.pixels].mean()
+        assert figure_mean < 0.3
+        assert background_mean > 0.7
+
+    def test_noise_reproducible_by_seed(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        pose = pose_for_sign(MarshallingSign.IDLE)
+        a = render_frame(pose, camera, RenderSettings(seed=4))
+        b = render_frame(pose, camera, RenderSettings(seed=4))
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_noise_changes_with_seed(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        pose = pose_for_sign(MarshallingSign.IDLE)
+        a = render_frame(pose, camera, RenderSettings(seed=1))
+        b = render_frame(pose, camera, RenderSettings(seed=2))
+        assert not np.array_equal(a.pixels, b.pixels)
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            RenderSettings(background_intensity=0.2, figure_intensity=0.8)
+        with pytest.raises(ValueError):
+            RenderSettings(noise_sigma=-0.1)
+
+    def test_intensities_clipped(self):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        frame = render_frame(
+            pose_for_sign(MarshallingSign.IDLE),
+            camera,
+            RenderSettings(noise_sigma=0.5, seed=0),
+        )
+        assert frame.pixels.min() >= 0.0
+        assert frame.pixels.max() <= 1.0

@@ -1,0 +1,27 @@
+"""Tests for the marshalling sign vocabulary (requirement R-SIMPLE)."""
+
+from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign
+
+
+class TestVocabulary:
+    def test_minimum_necessary_set(self):
+        """The paper specifies exactly three static signs."""
+        assert len(COMMUNICATIVE_SIGNS) == 3
+        assert set(COMMUNICATIVE_SIGNS) == {
+            MarshallingSign.ATTENTION,
+            MarshallingSign.YES,
+            MarshallingSign.NO,
+        }
+
+    def test_idle_is_not_communicative(self):
+        assert not MarshallingSign.IDLE.is_communicative
+        for sign in COMMUNICATIVE_SIGNS:
+            assert sign.is_communicative
+
+    def test_meanings_distinct(self):
+        meanings = {sign.meaning for sign in MarshallingSign}
+        assert len(meanings) == len(list(MarshallingSign))
+
+    def test_round_trip_by_value(self):
+        assert MarshallingSign("yes") is MarshallingSign.YES
+        assert MarshallingSign("attention") is MarshallingSign.ATTENTION

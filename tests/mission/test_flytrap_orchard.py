@@ -1,0 +1,99 @@
+"""Tests for fly traps and orchard generation."""
+
+import pytest
+
+from repro.geometry import Vec2, Vec3
+from repro.mission import FlyTrap, OrchardConfig, generate_orchard
+from repro.simulation import World
+
+
+class TestFlyTrap:
+    def test_accumulates_catches(self):
+        world = World()
+        trap = FlyTrap("trap", position=Vec2(0, 0), pest_pressure=3600.0)  # 1/s
+        world.add_entity(trap)
+        world.run_for(30.0)
+        assert trap.catch_count > 10
+
+    def test_reading_envelope(self):
+        trap = FlyTrap("trap", position=Vec2(0, 0))
+        assert trap.can_be_read_from(Vec3(0.5, 0, 2.5))
+        assert not trap.can_be_read_from(Vec3(5, 0, 2.5))  # too far
+        assert not trap.can_be_read_from(Vec3(0, 0, 6.0))  # too high
+        assert not trap.can_be_read_from(Vec3(0, 0, 0.5))  # too low
+
+    def test_read_requires_envelope(self):
+        world = World()
+        trap = FlyTrap("trap", position=Vec2(0, 0))
+        with pytest.raises(ValueError):
+            trap.read(world, Vec3(10, 0, 2.5))
+
+    def test_read_marks_not_due(self):
+        world = World()
+        trap = FlyTrap("trap", position=Vec2(0, 0))
+        trap.catch_count = 15
+        assert trap.due
+        reading = trap.read(world, Vec3(0.5, 0, 2.5))
+        assert not trap.due
+        assert reading.catch_count == 15
+        assert reading.spray_recommended  # 15 >= default threshold 12
+
+    def test_below_threshold_no_spray(self):
+        world = World()
+        trap = FlyTrap("trap", position=Vec2(0, 0))
+        trap.catch_count = 3
+        reading = trap.read(world, Vec3(0, 0, 2.5))
+        assert not reading.spray_recommended
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlyTrap("bad", Vec2(0, 0), pest_pressure=-1.0)
+        with pytest.raises(ValueError):
+            FlyTrap("bad", Vec2(0, 0), spray_threshold=0)
+
+
+class TestOrchardGeneration:
+    def test_layout_counts(self):
+        config = OrchardConfig(rows=3, trees_per_row=5, traps_per_row=2, workers=2,
+                               visitors=1, supervisor_present=True, seed=4)
+        orchard = generate_orchard(config)
+        assert len(orchard.world.obstacles) == 15
+        assert len(orchard.traps) == 6
+        assert len(orchard.humans) == 4  # supervisor + 2 workers + 1 visitor
+
+    def test_reproducible_for_seed(self):
+        a = generate_orchard(OrchardConfig(seed=11))
+        b = generate_orchard(OrchardConfig(seed=11))
+        assert [t.position for t in a.traps] == [t.position for t in b.traps]
+        assert [h.position for h in a.humans] == [h.position for h in b.humans]
+
+    def test_different_seeds_differ(self):
+        a = generate_orchard(OrchardConfig(seed=1))
+        b = generate_orchard(OrchardConfig(seed=2))
+        assert [t.position for t in a.traps] != [t.position for t in b.traps]
+
+    def test_all_traps_due_initially(self):
+        orchard = generate_orchard(OrchardConfig(seed=0))
+        assert len(orchard.due_traps) == len(orchard.traps)
+
+    def test_humans_near_query(self):
+        orchard = generate_orchard(OrchardConfig(seed=0))
+        human = orchard.humans[0]
+        near = orchard.humans_near(human.position, radius_m=0.5)
+        assert human in near
+
+    def test_blocking_placement(self):
+        """With blocking_fraction=1, some humans stand within blocking
+        range of traps."""
+        config = OrchardConfig(blocking_fraction=1.0, workers=3, seed=5)
+        orchard = generate_orchard(config)
+        blocked = [
+            t for t in orchard.traps if orchard.humans_near(t.position, 2.5)
+        ]
+        assert blocked
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrchardConfig(rows=0)
+        with pytest.raises(ValueError):
+            OrchardConfig(blocking_fraction=1.5)

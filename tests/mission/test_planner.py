@@ -1,0 +1,65 @@
+"""Tests for the trap-route planner."""
+
+import random
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.mission import FlyTrap, plan_route, tour_length
+
+
+def traps_at(points):
+    return [FlyTrap(f"t{i}", position=Vec2(x, y)) for i, (x, y) in enumerate(points)]
+
+
+class TestTourLength:
+    def test_open_tour(self):
+        assert tour_length(Vec2(0, 0), [Vec2(3, 4), Vec2(3, 0)]) == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert tour_length(Vec2(0, 0), []) == 0.0
+
+
+class TestPlanRoute:
+    def test_empty_traps(self):
+        plan = plan_route(Vec2(0, 0), [])
+        assert plan.traps == ()
+        assert plan.length_m == 0.0
+
+    def test_single_trap(self):
+        plan = plan_route(Vec2(0, 0), traps_at([(3, 4)]))
+        assert plan.length_m == pytest.approx(5.0)
+
+    def test_visits_every_trap_once(self):
+        traps = traps_at([(1, 0), (5, 5), (0, 3), (8, 1)])
+        plan = plan_route(Vec2(0, 0), traps)
+        assert sorted(t.name for t in plan.traps) == sorted(t.name for t in traps)
+
+    def test_collinear_optimal(self):
+        # Traps on a line: optimal is to sweep outward.
+        traps = traps_at([(3, 0), (1, 0), (2, 0), (4, 0)])
+        plan = plan_route(Vec2(0, 0), traps)
+        assert plan.length_m == pytest.approx(4.0)
+        assert [t.position.x for t in plan.traps] == [1, 2, 3, 4]
+
+    def test_two_opt_improves_or_matches_greedy(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            points = [(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(8)]
+            traps = traps_at(points)
+            greedy = plan_route(Vec2(0, 0), traps, improve=False)
+            improved = plan_route(Vec2(0, 0), traps, improve=True)
+            assert improved.length_m <= greedy.length_m + 1e-9
+
+    def test_two_opt_fixes_crossing(self):
+        # A configuration where nearest-neighbour produces a crossing
+        # that 2-opt untangles.
+        traps = traps_at([(0, 10), (10, 0), (10, 10), (0.5, 0)])
+        improved = plan_route(Vec2(0, 0), traps, improve=True)
+        greedy = plan_route(Vec2(0, 0), traps, improve=False)
+        assert improved.length_m <= greedy.length_m
+
+    def test_waypoints_accessor(self):
+        traps = traps_at([(1, 1), (2, 2)])
+        plan = plan_route(Vec2(0, 0), traps)
+        assert plan.waypoints() == [t.position for t in plan.traps]

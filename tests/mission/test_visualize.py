@@ -1,0 +1,75 @@
+"""Tests for the ASCII map / summary rendering."""
+
+import pytest
+
+from repro.drone import DroneAgent
+from repro.geometry import Vec2
+from repro.mission import MissionReport, OrchardConfig, generate_orchard
+from repro.mission.visualize import MapStyle, render_map, render_mission_summary
+
+
+class TestRenderMap:
+    def orchard(self):
+        return generate_orchard(
+            OrchardConfig(rows=2, trees_per_row=3, traps_per_row=1, workers=1,
+                          visitors=1, seed=4)
+        )
+
+    def test_contains_all_layers(self):
+        orchard = self.orchard()
+        drone = DroneAgent("drone", position=Vec2(-4, -4))
+        orchard.world.add_entity(drone)
+        art = render_map(orchard, drone)
+        assert "T" in art  # trees
+        assert "o" in art  # due traps
+        assert "D" in art  # drone
+        assert "W" in art or "V" in art or "S" in art  # humans
+
+    def test_read_trap_changes_glyph(self):
+        orchard = self.orchard()
+        trap = orchard.traps[0]
+        trap.read(orchard.world, trap.position3().with_z(2.5))
+        art = render_map(orchard)
+        assert "*" in art
+
+    def test_legend_present(self):
+        art = render_map(self.orchard())
+        assert "1 cell" in art
+        assert "drone" in art
+
+    def test_custom_scale(self):
+        art_fine = render_map(self.orchard(), style=MapStyle(metres_per_cell=1.0))
+        art_coarse = render_map(self.orchard(), style=MapStyle(metres_per_cell=4.0))
+        assert len(art_fine) > len(art_coarse)
+
+    def test_style_validation(self):
+        with pytest.raises(ValueError):
+            MapStyle(metres_per_cell=0.0)
+        with pytest.raises(ValueError):
+            MapStyle(margin_cells=-1)
+
+    def test_map_is_rectangular(self):
+        art = render_map(self.orchard())
+        rows = art.split("\n")[:-1]  # drop legend
+        assert len({len(row) for row in rows}) == 1
+
+
+class TestRenderSummary:
+    def test_summary_fields(self):
+        report = MissionReport(
+            negotiations=3,
+            negotiations_granted=2,
+            negotiations_denied=1,
+            duration_s=312.0,
+        )
+        report.skipped_traps.append("trap_9")
+        text = render_mission_summary(report, total_traps=8)
+        assert "0 / 8" in text
+        assert "granted 2" in text
+        assert "312 s" in text
+
+    def test_frame_alignment(self):
+        text = render_mission_summary(MissionReport(), total_traps=4)
+        lines = text.split("\n")
+        assert len({len(line) for line in lines}) == 1
+        assert lines[0].startswith("+") and lines[-1].startswith("+")

@@ -1,0 +1,182 @@
+"""Integration tests for the Figure-3 negotiation protocol."""
+
+import pytest
+
+from repro.drone import DroneAgent, PatternKind, TakeOffPattern
+from repro.geometry import Vec2
+from repro.human import SUPERVISOR, VISITOR, WORKER, HumanAgent, Persona, TrainingLevel
+from repro.protocol import (
+    NegotiationConfig,
+    NegotiationController,
+    NegotiationState,
+    OraclePerception,
+)
+from repro.simulation import World
+
+
+def setup_round(persona=SUPERVISOR, human_seed=3, drone_at=Vec2(-12, 0)):
+    world = World()
+    drone = DroneAgent("drone", position=drone_at)
+    world.add_entity(drone)
+    human = HumanAgent("human", persona=persona, position=Vec2(0, 0), seed=human_seed)
+    world.add_entity(human)
+    drone.fly_pattern(TakeOffPattern(5.0), world)
+    assert world.run_until(lambda w: drone.is_idle, timeout_s=30)
+    controller = NegotiationController(drone, human)
+    world.add_entity(controller)
+    return world, drone, human, controller
+
+
+ALWAYS_YES = Persona(
+    name="always yes",
+    training=TrainingLevel.TRAINED,
+    notice_probability=1.0,
+    response_probability=1.0,
+    correct_sign_probability=1.0,
+    mean_delay_s=1.0,
+    delay_jitter_s=0.0,
+    max_lean_deg=0.0,
+    grants_space_probability=1.0,
+)
+
+ALWAYS_NO = Persona(
+    name="always no",
+    training=TrainingLevel.TRAINED,
+    notice_probability=1.0,
+    response_probability=1.0,
+    correct_sign_probability=1.0,
+    mean_delay_s=1.0,
+    delay_jitter_s=0.0,
+    max_lean_deg=0.0,
+    grants_space_probability=0.0,
+)
+
+NEVER_NOTICES = Persona(
+    name="oblivious",
+    training=TrainingLevel.UNTRAINED,
+    notice_probability=0.0,
+    response_probability=1.0,
+    correct_sign_probability=1.0,
+    mean_delay_s=1.0,
+    delay_jitter_s=0.0,
+    max_lean_deg=0.0,
+    grants_space_probability=1.0,
+)
+
+
+class TestHappyPath:
+    def test_granted_round(self):
+        world, drone, human, controller = setup_round(persona=ALWAYS_YES)
+        controller.start(world)
+        assert world.run_until(lambda w: controller.finished, timeout_s=240)
+        outcome = controller.outcome
+        assert outcome is not None
+        assert outcome.state is NegotiationState.CONCLUDED
+        assert outcome.space_granted is True
+        assert outcome.poke_attempts >= 1
+
+    def test_denied_round(self):
+        world, drone, human, controller = setup_round(persona=ALWAYS_NO)
+        controller.start(world)
+        assert world.run_until(lambda w: controller.finished, timeout_s=240)
+        outcome = controller.outcome
+        assert outcome.space_granted is False
+        assert outcome.state is NegotiationState.CONCLUDED
+
+    def test_acknowledgement_pattern_matches_answer(self):
+        """YES is acknowledged with a NOD, NO with a TURN."""
+        for persona, expected in ((ALWAYS_YES, "nod"), (ALWAYS_NO, "turn")):
+            world, drone, human, controller = setup_round(persona=persona)
+            controller.start(world)
+            assert world.run_until(lambda w: controller.finished, timeout_s=240)
+            flown = [e.detail["pattern"] for e in world.log.of_kind("pattern_done")]
+            assert expected in flown
+
+    def test_protocol_flies_figure3_sequence(self):
+        world, drone, human, controller = setup_round(persona=ALWAYS_YES)
+        controller.start(world)
+        world.run_until(lambda w: controller.finished, timeout_s=240)
+        flown = [e.detail["pattern"] for e in world.log.of_kind("pattern_done")]
+        # cruise (approach) -> poke -> rectangle -> nod, in order.
+        assert flown.index("poke") < flown.index("rectangle") < flown.index("nod")
+
+    def test_drone_keeps_safe_distance(self):
+        world, drone, human, controller = setup_round(persona=ALWAYS_YES)
+        controller.start(world)
+        min_separation = float("inf")
+        while not controller.finished and world.now_s < 240:
+            world.step()
+            separation = drone.state.position.horizontal().distance_to(human.position)
+            min_separation = min(min_separation, separation)
+        # Approach distance 3 m minus the 1 m poke dart.
+        assert min_separation > 1.5
+
+
+class TestFailureModes:
+    def test_oblivious_human_times_out(self):
+        config = NegotiationConfig(attention_timeout_s=4.0, max_poke_retries=1)
+        world, drone, human, controller = setup_round(persona=NEVER_NOTICES)
+        controller.config = config
+        controller.start(world)
+        assert world.run_until(lambda w: controller.finished, timeout_s=300)
+        outcome = controller.outcome
+        assert outcome.state is NegotiationState.FAILED
+        assert outcome.failure_reason == "attention not gained"
+        assert outcome.poke_attempts == 2  # initial + one retry
+
+    def test_retry_poke_then_succeed(self):
+        """A worker who misses the first poke can still conclude."""
+        flaky = Persona(
+            name="flaky",
+            training=TrainingLevel.PARTIALLY_TRAINED,
+            notice_probability=0.5,
+            response_probability=1.0,
+            correct_sign_probability=1.0,
+            mean_delay_s=1.0,
+            delay_jitter_s=0.0,
+            max_lean_deg=0.0,
+            grants_space_probability=1.0,
+        )
+        # Seed chosen so the first poke is missed, the second noticed.
+        for seed in range(10):
+            world, drone, human, controller = setup_round(persona=flaky, human_seed=seed)
+            controller.config = NegotiationConfig(attention_timeout_s=5.0)
+            controller.start(world)
+            assert world.run_until(lambda w: controller.finished, timeout_s=300)
+            if controller.outcome.poke_attempts > 1 and controller.outcome.succeeded:
+                return  # found the retry-then-succeed trajectory
+        pytest.fail("no seed exercised the retry path")
+
+    def test_drone_emergency_fails_negotiation(self):
+        world, drone, human, controller = setup_round(persona=ALWAYS_YES)
+        controller.start(world)
+        world.run_for(5.0)
+        drone.trigger_emergency(world, reason="test")
+        assert world.run_until(lambda w: controller.finished, timeout_s=120)
+        assert controller.outcome.state is NegotiationState.FAILED
+        assert controller.outcome.failure_reason == "drone emergency"
+
+    def test_cannot_start_twice(self):
+        world, drone, human, controller = setup_round()
+        controller.start(world)
+        with pytest.raises(RuntimeError):
+            controller.start(world)
+
+
+class TestPersonaOutcomes:
+    def test_supervisor_beats_visitor_success_rate(self):
+        """Integration across the persona axis: trained collaborators
+        conclude far more reliably than untrained visitors."""
+        def run(persona, seed):
+            world, drone, human, controller = setup_round(persona=persona, human_seed=seed)
+            controller.config = NegotiationConfig(
+                attention_timeout_s=8.0, answer_timeout_s=8.0
+            )
+            controller.start(world)
+            world.run_until(lambda w: controller.finished, timeout_s=300)
+            return controller.outcome.succeeded
+
+        supervisor_wins = sum(run(SUPERVISOR, s) for s in range(6))
+        visitor_wins = sum(run(VISITOR, s) for s in range(6))
+        assert supervisor_wins > visitor_wins
+        assert supervisor_wins >= 5

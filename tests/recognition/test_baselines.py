@@ -1,0 +1,85 @@
+"""Tests for the baseline classifiers (Hu moments, template correlation)."""
+
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign, pose_for_sign, render_silhouette
+from repro.recognition import HuMomentClassifier, TemplateCorrelationClassifier
+from repro.vision import BinaryImage
+
+
+def silhouette(sign: MarshallingSign, azimuth: float = 0.0):
+    camera = observation_camera(5.0, 3.0, azimuth)
+    return render_silhouette(pose_for_sign(sign), camera)
+
+
+def enrolled(classifier):
+    for sign in COMMUNICATIVE_SIGNS:
+        classifier.enroll(sign.value, silhouette(sign))
+    return classifier
+
+
+class TestHuMomentClassifier:
+    def test_classifies_canonical_views(self):
+        clf = enrolled(HuMomentClassifier())
+        for sign in COMMUNICATIVE_SIGNS:
+            result = clf.classify(silhouette(sign))
+            assert result.label == sign.value
+
+    def test_rejects_far_shapes(self):
+        clf = enrolled(HuMomentClassifier(acceptance_threshold=0.05))
+        from repro.vision import raster_disc
+
+        result = clf.classify(raster_disc(64, 64, (32, 32), 20))
+        assert result.label is None
+
+    def test_unenrolled_raises(self):
+        with pytest.raises(RuntimeError):
+            HuMomentClassifier().classify(silhouette(MarshallingSign.YES))
+
+    def test_timing_recorded(self):
+        clf = enrolled(HuMomentClassifier())
+        result = clf.classify(silhouette(MarshallingSign.NO))
+        assert result.elapsed_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuMomentClassifier(acceptance_threshold=0.0)
+
+
+class TestTemplateCorrelationClassifier:
+    def test_classifies_canonical_views(self):
+        clf = enrolled(TemplateCorrelationClassifier())
+        for sign in COMMUNICATIVE_SIGNS:
+            result = clf.classify(silhouette(sign))
+            assert result.label == sign.value
+            assert result.score > 0.9
+
+    def test_not_rotation_invariant(self):
+        """The ablation point: template correlation collapses under the
+        in-plane rotations SAX handles via circular shifts."""
+        clf = enrolled(TemplateCorrelationClassifier())
+        import numpy as np
+
+        rotated = BinaryImage(np.rot90(silhouette(MarshallingSign.NO).pixels).copy())
+        result = clf.classify(rotated)
+        assert result.label != MarshallingSign.NO.value or result.score < 0.8
+
+    def test_empty_silhouette_raises(self):
+        clf = enrolled(TemplateCorrelationClassifier())
+        with pytest.raises(ValueError):
+            clf.classify(BinaryImage.zeros(32, 32))
+
+    def test_unenrolled_raises(self):
+        with pytest.raises(RuntimeError):
+            TemplateCorrelationClassifier().classify(silhouette(MarshallingSign.NO))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemplateCorrelationClassifier(grid=4)
+        with pytest.raises(ValueError):
+            TemplateCorrelationClassifier(acceptance_threshold=1.5)
+
+    def test_labels_property(self):
+        clf = enrolled(TemplateCorrelationClassifier())
+        assert set(clf.labels) == {s.value for s in COMMUNICATIVE_SIGNS}

@@ -1,0 +1,100 @@
+"""Extensibility: registering new static signs (paper Section V).
+
+"It is completely plausible that applications with more sophisticated
+modes of collaboration may require more sophisticated signage."  The
+pipeline must accept new static signs without code changes: define the
+arm configuration, render the canonical views, enrol — done.
+"""
+
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import (
+    ArmAngles,
+    MarshallingSign,
+    RenderSettings,
+    pose_with_arms,
+    render_frame,
+)
+from repro.recognition import SaxSignRecognizer
+from repro.recognition.pipeline import (
+    ENROLMENT_AZIMUTHS_DEG,
+    observation_elevation_deg,
+)
+from repro.recognition.preprocess import preprocess_frame
+
+# A new sign: "LAND HERE" — both arms held straight out horizontally
+# (the aircraft-marshalling "this bay" gesture).
+LAND_HERE = ArmAngles(95.0, 95.0, 95.0, 95.0)
+
+
+def enroll_custom(recognizer: SaxSignRecognizer, label: str, arms: ArmAngles) -> None:
+    """Enrol a custom sign exactly the way built-ins are enrolled."""
+    elevation = observation_elevation_deg(5.0, 3.0)
+    settings = RenderSettings(noise_sigma=0.0)
+    for azimuth in ENROLMENT_AZIMUTHS_DEG:
+        camera = observation_camera(5.0, 3.0, azimuth)
+        frame = render_frame(pose_with_arms(arms), camera, settings)
+        result = preprocess_frame(
+            frame, recognizer.preprocess_settings, elevation_deg=elevation
+        )
+        assert result.ok, result.reject_reason
+        recognizer.database.add(label, result.series, view=f"az{azimuth:.0f}")
+
+
+@pytest.fixture(scope="module")
+def recognizer() -> SaxSignRecognizer:
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    enroll_custom(rec, "land_here", LAND_HERE)
+    return rec
+
+
+class TestCustomSign:
+    def test_custom_sign_recognised_by_label(self, recognizer):
+        camera = observation_camera(5.0, 3.0, 0.0)
+        frame = render_frame(
+            pose_with_arms(LAND_HERE), camera, RenderSettings(noise_sigma=0.02)
+        )
+        result = recognizer.recognise(
+            frame, elevation_deg=observation_elevation_deg(5.0, 3.0)
+        )
+        assert result.label == "land_here"
+        assert result.recognised
+        # Custom labels are outside the built-in enum.
+        assert result.sign is None
+
+    def test_custom_sign_at_oblique_azimuth(self, recognizer):
+        camera = observation_camera(5.0, 3.0, 45.0)
+        frame = render_frame(
+            pose_with_arms(LAND_HERE), camera, RenderSettings(noise_sigma=0.02)
+        )
+        result = recognizer.recognise(
+            frame, elevation_deg=observation_elevation_deg(5.0, 3.0)
+        )
+        assert result.label == "land_here"
+
+    def test_builtin_signs_unharmed(self, recognizer):
+        """Adding a sign must not break the original vocabulary."""
+        for sign in (MarshallingSign.ATTENTION, MarshallingSign.YES, MarshallingSign.NO):
+            result = recognizer.recognise_observation(sign, 5.0, 3.0, 0.0)
+            assert result.sign is sign
+            assert result.label == sign.value
+
+    def test_four_unique_words(self, recognizer):
+        words = recognizer.database.word_table()
+        assert len(words) == 4
+        assert len(set(words.values())) == 4
+
+    def test_too_similar_custom_sign_degrades_safely(self):
+        """A custom sign nearly identical to YES must produce margin
+        rejections, not silent misclassification."""
+        rec = SaxSignRecognizer()
+        rec.enroll_canonical_views()
+        almost_yes = ArmAngles(133.0, 133.0, 133.0, 133.0)  # YES is 135
+        enroll_custom(rec, "almost_yes", almost_yes)
+        result = rec.recognise_observation(MarshallingSign.YES, 5.0, 3.0, 0.0)
+        # Either the margin rule rejects (safe) or YES still wins; what
+        # must NOT happen is a confident read of the imposter.
+        if result.label == "almost_yes":
+            pytest.fail("imposter sign confidently misread as the answer")

@@ -1,0 +1,141 @@
+"""Tests for the envelope sweeps: R1 (altitude) and R2 (dead angle)."""
+
+import numpy as np
+import pytest
+
+from repro.human import MarshallingSign
+from repro.recognition import (
+    AzimuthEnvelope,
+    SaxSignRecognizer,
+    SweepPoint,
+    confusion_matrix,
+    sweep_altitude,
+    sweep_azimuth,
+)
+from repro.recognition.evaluation import AltitudeEnvelope
+
+
+@pytest.fixture(scope="module")
+def recognizer() -> SaxSignRecognizer:
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    return rec
+
+
+def point(parameter, correct):
+    return SweepPoint(
+        parameter=parameter,
+        recognised=correct,
+        correct=correct,
+        distance=0.0,
+        reject_reason=None,
+    )
+
+
+class TestAltitudeEnvelopeLogic:
+    def test_working_band_longest_run(self):
+        envelope = AltitudeEnvelope(
+            sign=MarshallingSign.NO,
+            points=tuple(
+                point(a, ok)
+                for a, ok in [(1, False), (2, True), (3, True), (4, True), (5, False), (6, True)]
+            ),
+        )
+        assert envelope.working_band() == (2, 4)
+
+    def test_no_band_when_all_fail(self):
+        envelope = AltitudeEnvelope(
+            sign=MarshallingSign.NO, points=(point(1, False), point(2, False))
+        )
+        assert envelope.working_band() is None
+
+    def test_band_extends_to_end(self):
+        envelope = AltitudeEnvelope(
+            sign=MarshallingSign.NO,
+            points=(point(1, False), point(2, True), point(3, True)),
+        )
+        assert envelope.working_band() == (2, 3)
+
+
+class TestAzimuthEnvelopeLogic:
+    def test_max_reliable_is_prefix(self):
+        envelope = AzimuthEnvelope(
+            sign=MarshallingSign.NO,
+            points=tuple(point(a, ok) for a, ok in [(0, True), (30, True), (60, False), (70, True)]),
+        )
+        assert envelope.max_reliable_azimuth() == 30
+
+    def test_dead_angle_formula(self):
+        envelope = AzimuthEnvelope(
+            sign=MarshallingSign.NO,
+            points=tuple(point(a, a <= 65) for a in range(0, 91, 5)),
+        )
+        # Paper: theta_max = 65 -> dead angle = 360 - 4*65 = 100.
+        assert envelope.dead_angle_deg() == pytest.approx(100.0)
+
+    def test_dead_angle_zero_when_fully_covered(self):
+        envelope = AzimuthEnvelope(
+            sign=MarshallingSign.NO,
+            points=tuple(point(a, True) for a in range(0, 91, 10)),
+        )
+        assert envelope.dead_angle_deg() == 0.0
+
+    def test_dead_angle_total_when_blind(self):
+        envelope = AzimuthEnvelope(
+            sign=MarshallingSign.NO, points=(point(0, False),)
+        )
+        assert envelope.dead_angle_deg() == 360.0
+
+
+class TestMeasuredEnvelopes:
+    """The actual reproduction: measured bands must match the paper's shape."""
+
+    def test_altitude_band_covers_paper_range(self, recognizer):
+        envelope = sweep_altitude(
+            recognizer,
+            MarshallingSign.NO,
+            altitudes_m=[1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        band = envelope.working_band()
+        assert band is not None
+        low, high = band
+        assert low <= 2.0  # works from (at least) 2 m ...
+        assert high >= 5.0  # ... through 5 m (paper's measured range).
+
+    def test_azimuth_reliable_to_at_least_60(self, recognizer):
+        envelope = sweep_azimuth(
+            recognizer,
+            MarshallingSign.NO,
+            azimuths_deg=list(np.arange(0.0, 91.0, 5.0)),
+        )
+        theta_max = envelope.max_reliable_azimuth()
+        assert theta_max is not None
+        assert theta_max >= 60.0  # the paper demonstrates 65 deg
+
+    def test_dead_angle_near_paper_value(self, recognizer):
+        """Paper: 'a dead angle of 100 deg'.  Accept 40-140 as the same
+        qualitative finding on our synthetic signaller."""
+        envelope = sweep_azimuth(
+            recognizer,
+            MarshallingSign.NO,
+            azimuths_deg=list(np.arange(0.0, 91.0, 5.0)),
+        )
+        assert 40.0 <= envelope.dead_angle_deg() <= 140.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_dominant_at_canonical_view(self, recognizer):
+        signs = [MarshallingSign.ATTENTION, MarshallingSign.YES, MarshallingSign.NO]
+        matrix = confusion_matrix(recognizer, signs, lean_degs=[0.0, -3.0, 3.0])
+        for sign in signs:
+            row = matrix[sign]
+            correct = row.get(sign.value, 0)
+            total = sum(row.values())
+            assert correct / total >= 2 / 3
+
+    def test_reject_column_for_idle(self, recognizer):
+        matrix = confusion_matrix(recognizer, [MarshallingSign.IDLE])
+        row = matrix[MarshallingSign.IDLE]
+        assert row.get("reject", 0) >= 1 or all(
+            key == "reject" for key in row
+        )

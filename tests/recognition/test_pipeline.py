@@ -1,0 +1,96 @@
+"""Tests for the SAX sign recogniser — the paper's core claims R1/R2/R4."""
+
+import pytest
+
+from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign
+from repro.recognition import SaxSignRecognizer
+from repro.sax import SaxParameters
+
+
+@pytest.fixture(scope="module")
+def recognizer() -> SaxSignRecognizer:
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    return rec
+
+
+class TestEnrolment:
+    def test_all_signs_enrolled(self, recognizer):
+        assert set(recognizer.enrolled_signs) == {s.value for s in COMMUNICATIVE_SIGNS}
+
+    def test_multiple_views_per_sign(self, recognizer):
+        assert len(recognizer.database.entries("no")) >= 4
+
+    def test_recognise_before_enrolment_raises(self):
+        empty = SaxSignRecognizer()
+        from repro.vision import Image
+
+        with pytest.raises(RuntimeError):
+            empty.recognise(Image.full(64, 64, 0.5))
+
+
+class TestCanonicalRecognition:
+    @pytest.mark.parametrize("sign", COMMUNICATIVE_SIGNS)
+    def test_recognises_each_sign_full_on(self, recognizer, sign):
+        result = recognizer.recognise_observation(sign, 5.0, 3.0, 0.0)
+        assert result.sign is sign
+        assert result.recognised
+        assert result.distance < 0.3
+
+    @pytest.mark.parametrize("sign", COMMUNICATIVE_SIGNS)
+    def test_recognises_at_paper_azimuth_65(self, recognizer, sign):
+        """Section IV: recognition still works at 65 deg relative azimuth."""
+        result = recognizer.recognise_observation(sign, 5.0, 3.0, 65.0)
+        assert result.sign is sign
+
+    def test_altitude_band_includes_2_to_5(self, recognizer):
+        """R1: 'identifies the No sign at altitudes from 2 m to 5 m'."""
+        for altitude in (2.0, 3.0, 4.0, 5.0):
+            result = recognizer.recognise_observation(
+                MarshallingSign.NO, altitude, 3.0, 0.0
+            )
+            assert result.sign is MarshallingSign.NO, f"failed at {altitude} m"
+
+    def test_idle_pose_is_rejected(self, recognizer):
+        """A non-signalling worker must never be read as a sign."""
+        result = recognizer.recognise_observation(MarshallingSign.IDLE, 5.0, 3.0, 0.0)
+        assert result.sign is None or not result.sign.is_communicative
+
+    def test_sign_words_unique(self, recognizer):
+        """R4: 'the strings retrievable from the three signs are unique'."""
+        words = recognizer.word_table()
+        assert len(set(words.values())) == 3
+
+    def test_side_on_view_degrades(self, recognizer):
+        """R2: recognition is erratic around the side-on view for the
+        laterally asymmetric signs (the paper measured NO)."""
+        result = recognizer.recognise_observation(MarshallingSign.NO, 5.0, 3.0, 85.0)
+        assert result.sign is not MarshallingSign.NO or result.margin < 0.1
+
+
+class TestBudgetAccounting:
+    def test_stages_timed(self, recognizer):
+        result = recognizer.recognise_observation(MarshallingSign.YES, 5.0, 3.0, 0.0)
+        stage_names = {t.stage for t in result.budget.stages}
+        assert stage_names == {"preprocess", "sax_match"}
+        assert result.budget.total_s > 0
+
+    def test_within_real_time_budget(self, recognizer):
+        """The paper's claim: comfortably real-time on unoptimised
+        Python.  Allow 3x the 30 fps budget for slow CI machines."""
+        result = recognizer.recognise_observation(MarshallingSign.NO, 5.0, 3.0, 0.0)
+        assert result.budget.total_s < 3.0 * (1.0 / 30.0)
+
+
+class TestConfiguration:
+    def test_custom_sax_parameters(self):
+        rec = SaxSignRecognizer(sax_parameters=SaxParameters(word_length=16, alphabet_size=4))
+        rec.enroll_canonical_views()
+        result = rec.recognise_observation(MarshallingSign.YES, 5.0, 3.0, 0.0)
+        assert result.sign is MarshallingSign.YES
+
+    def test_tight_threshold_rejects_more(self):
+        strict = SaxSignRecognizer(acceptance_threshold=0.05)
+        strict.enroll_canonical_views()
+        result = strict.recognise_observation(MarshallingSign.NO, 5.0, 3.0, 45.0)
+        assert result.sign is None  # off-canonical view: too far for 0.05

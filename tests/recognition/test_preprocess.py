@@ -1,0 +1,134 @@
+"""Tests for frame pre-processing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import MarshallingSign, RenderSettings, pose_for_sign, render_frame
+from repro.recognition import (
+    PreprocessSettings,
+    preprocess_frame,
+    silhouette_to_series,
+)
+from repro.recognition.preprocess import rectify_contour
+from repro.vision import BinaryImage, Contour, Image, raster_disc
+
+
+def canonical_frame(sign=MarshallingSign.NO, noise=0.02, seed=0):
+    camera = observation_camera(5.0, 3.0, 0.0)
+    return render_frame(
+        pose_for_sign(sign), camera, RenderSettings(noise_sigma=noise, seed=seed)
+    )
+
+
+class TestPreprocessFrame:
+    def test_extracts_series_from_rendered_frame(self):
+        result = preprocess_frame(canonical_frame())
+        assert result.ok
+        assert result.series is not None
+        assert len(result.series) == PreprocessSettings().signature_length
+        assert result.contour is not None
+        assert result.silhouette is not None
+
+    def test_blank_frame_rejected(self):
+        result = preprocess_frame(Image.full(64, 64, 0.9))
+        assert not result.ok
+        # Otsu on near-constant noise may binarise *something*, but no
+        # usable silhouette survives the area gate.
+        assert result.reject_reason in (
+            "no foreground",
+            "silhouette too small",
+            "degenerate contour",
+        )
+
+    def test_tiny_blob_rejected(self):
+        frame_px = np.full((64, 64), 0.9)
+        frame_px[30:33, 30:33] = 0.1
+        result = preprocess_frame(Image(frame_px), PreprocessSettings(blur_sigma=0.0))
+        assert not result.ok
+        assert result.reject_reason == "silhouette too small"
+
+    def test_noise_robustness(self):
+        clean = preprocess_frame(canonical_frame(noise=0.0))
+        noisy = preprocess_frame(canonical_frame(noise=0.05, seed=3))
+        assert clean.ok and noisy.ok
+        # The two series describe the same silhouette.
+        from repro.sax import best_shift_euclidean
+
+        distance = best_shift_euclidean(clean.series, noisy.series).distance / np.sqrt(
+            len(clean.series)
+        )
+        assert distance < 0.45
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            PreprocessSettings(blur_sigma=-1.0)
+        with pytest.raises(ValueError):
+            PreprocessSettings(signature_length=4)
+        with pytest.raises(ValueError):
+            PreprocessSettings(min_component_area_px=0)
+
+
+class TestSilhouetteToSeries:
+    def test_clean_mask_path(self):
+        mask = raster_disc(64, 64, (32, 32), 15)
+        result = silhouette_to_series(mask)
+        assert result.ok
+        # A disc's signature is nearly constant.
+        assert result.series.std() / result.series.mean() < 0.1
+
+    def test_empty_mask(self):
+        result = silhouette_to_series(BinaryImage.zeros(32, 32))
+        assert not result.ok
+        assert result.reject_reason == "no foreground"
+
+
+class TestRectification:
+    def test_zero_elevation_is_identity(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]])
+        contour = Contour(points)
+        rectified = rectify_contour(contour, 0.0)
+        assert np.allclose(rectified.points, points)
+
+    def test_stretches_rows_about_mean(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+        rectified = rectify_contour(Contour(points), 60.0)
+        # cos(60 deg) = 0.5 -> rows stretch by 2x about their mean (5.0).
+        assert rectified.points[:, 0].min() == pytest.approx(-5.0)
+        assert rectified.points[:, 0].max() == pytest.approx(15.0)
+        # Columns untouched.
+        assert np.allclose(rectified.points[:, 1], points[:, 1])
+
+    def test_extreme_elevation_clamped(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0]])
+        rectified = rectify_contour(Contour(points), 89.9)
+        span = rectified.points[:, 0].max() - rectified.points[:, 0].min()
+        assert span < 10.0  # clamped at 80 deg -> factor ~5.76
+
+    def test_restores_interclass_separation_at_low_altitude(self):
+        """The purpose of rectification: without it, a NO sign seen from
+        a low altitude drifts closer to the ATTENTION canonical than to
+        its own; with it, NO stays nearest NO (cf. the R1 calibration in
+        DESIGN.md)."""
+        from repro.recognition.pipeline import observation_elevation_deg
+        from repro.sax import best_shift_euclidean
+
+        def series_at(sign, alt, rectified):
+            frame = render_frame(
+                pose_for_sign(sign),
+                observation_camera(alt, 3.0, 0.0),
+                RenderSettings(noise_sigma=0.0),
+            )
+            elevation = observation_elevation_deg(alt, 3.0) if rectified else None
+            return preprocess_frame(frame, elevation_deg=elevation).series
+
+        for rectified in (False, True):
+            no_ref = series_at(MarshallingSign.NO, 5.0, rectified)
+            att_ref = series_at(MarshallingSign.ATTENTION, 5.0, rectified)
+            query = series_at(MarshallingSign.NO, 2.0, rectified)
+            d_no = best_shift_euclidean(query, no_ref).distance
+            d_att = best_shift_euclidean(query, att_ref).distance
+            if rectified:
+                assert d_no < d_att  # correct nearest class
+            else:
+                assert d_att < d_no  # the perspective confusion

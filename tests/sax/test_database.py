@@ -1,0 +1,119 @@
+"""Tests for the sign database: enrolment, classification, rejection."""
+
+import numpy as np
+import pytest
+
+from repro.sax import SaxParameters, SignDatabase
+
+
+def wave(freq: float, n: int = 128, phase: float = 0.0) -> np.ndarray:
+    t = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return np.sin(freq * t + phase) + 0.3 * np.sin(3 * freq * t)
+
+
+class TestEnrolment:
+    def test_add_and_labels(self):
+        db = SignDatabase()
+        db.add("one", wave(1))
+        db.add("two", wave(2))
+        assert db.labels == ["one", "two"]
+        assert "one" in db
+        assert len(db) == 2
+
+    def test_multiple_views_accumulate(self):
+        db = SignDatabase()
+        db.add("sign", wave(1), view="az0")
+        db.add("sign", wave(1, phase=0.2), view="az30")
+        assert len(db) == 2
+        assert len(db.entries("sign")) == 2
+
+    def test_view_replacement(self):
+        db = SignDatabase()
+        db.add("sign", wave(1), view="az0")
+        db.add("sign", wave(2), view="az0")
+        assert len(db.entries("sign")) == 1
+
+    def test_series_validation(self):
+        db = SignDatabase(SaxParameters(word_length=32))
+        with pytest.raises(ValueError):
+            db.add("short", np.arange(8.0))
+        with pytest.raises(ValueError):
+            db.add("bad", np.zeros((4, 4)))
+
+    def test_missing_label_raises(self):
+        db = SignDatabase()
+        with pytest.raises(KeyError):
+            db.entry("nope")
+
+
+class TestClassification:
+    def build(self) -> SignDatabase:
+        db = SignDatabase()
+        db.add("slow", wave(1))
+        db.add("fast", wave(5))
+        return db
+
+    def test_exact_match(self):
+        db = self.build()
+        result = db.classify(wave(1))
+        assert result.label == "slow"
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+        assert result.accepted
+
+    def test_rotated_query_matches(self):
+        db = self.build()
+        result = db.classify(np.roll(wave(5), 17))
+        assert result.label == "fast"
+
+    def test_rejection_of_unknown_shape(self):
+        db = self.build()
+        rng = np.random.default_rng(0)
+        result = db.classify(rng.normal(size=128))
+        assert result.label is None
+        assert not result.accepted
+        assert result.runner_up_label in ("slow", "fast")
+
+    def test_margin_rejection(self):
+        # Two nearly identical references: any query lands between them
+        # with a tiny margin and must be rejected, not guessed.
+        db = SignDatabase(margin_threshold=0.1)
+        db.add("a", wave(2))
+        db.add("b", wave(2, phase=0.01))
+        result = db.classify(wave(2, phase=0.005))
+        assert result.label is None
+
+    def test_margin_property(self):
+        db = self.build()
+        result = db.classify(wave(1))
+        assert result.margin > 0
+
+    def test_empty_database_raises(self):
+        with pytest.raises(RuntimeError):
+            SignDatabase().classify(wave(1))
+
+    def test_length_mismatch_raises(self):
+        db = self.build()
+        with pytest.raises(ValueError):
+            db.classify(wave(1, n=64))
+
+    def test_multi_view_min_distance(self):
+        db = SignDatabase()
+        db.add("sign", wave(1), view="v0")
+        db.add("sign", wave(1.5), view="v1")
+        db.add("other", wave(6))
+        # A query near the second view still classifies as "sign".
+        result = db.classify(wave(1.5))
+        assert result.label == "sign"
+        assert result.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_word_table(self):
+        db = self.build()
+        table = db.word_table()
+        assert set(table) == {"slow", "fast"}
+        assert table["slow"] != table["fast"]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SignDatabase(acceptance_threshold=0.0)
+        with pytest.raises(ValueError):
+            SignDatabase(margin_threshold=-0.1)

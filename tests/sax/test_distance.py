@@ -1,0 +1,101 @@
+"""Tests for MINDIST and friends — including the lower-bounding property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sax import (
+    SaxEncoder,
+    SaxParameters,
+    euclidean_distance,
+    mindist,
+    paa,
+    paa_distance,
+    symbol_distance_table,
+    z_normalize,
+)
+
+series_pairs = st.tuples(
+    arrays(
+        dtype=np.float64,
+        shape=64,
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    arrays(
+        dtype=np.float64,
+        shape=64,
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+)
+
+
+class TestSymbolTable:
+    def test_adjacent_symbols_zero(self):
+        table = symbol_distance_table(6)
+        for i in range(6):
+            assert table[i, i] == 0.0
+            if i + 1 < 6:
+                assert table[i, i + 1] == 0.0
+
+    def test_symmetry(self):
+        table = symbol_distance_table(8)
+        assert np.allclose(table, table.T)
+
+    def test_distant_symbols_positive_and_growing(self):
+        table = symbol_distance_table(8)
+        assert table[0, 2] > 0
+        assert table[0, 7] > table[0, 4] > table[0, 2]
+
+
+class TestMindist:
+    def encoder(self):
+        return SaxEncoder(SaxParameters(word_length=8, alphabet_size=6))
+
+    def test_identical_words_zero(self):
+        enc = self.encoder()
+        series = np.sin(np.linspace(0, 5, 64))
+        word = enc.encode(series)
+        assert mindist(word, word, 64) == 0.0
+
+    def test_incompatible_parameters_raise(self):
+        a = SaxEncoder(SaxParameters(8, 6)).encode(np.arange(64.0))
+        b = SaxEncoder(SaxParameters(8, 5)).encode(np.arange(64.0))
+        with pytest.raises(ValueError):
+            mindist(a, b, 64)
+
+    def test_series_length_validation(self):
+        enc = self.encoder()
+        word = enc.encode(np.arange(64.0))
+        with pytest.raises(ValueError):
+            mindist(word, word, 4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(series_pairs)
+    def test_lower_bounds_euclidean(self, pair):
+        """The foundational SAX guarantee: MINDIST(A, B) <= D(a, b)."""
+        raw_a, raw_b = pair
+        enc = self.encoder()
+        a, b = z_normalize(raw_a), z_normalize(raw_b)
+        bound = mindist(enc.encode(raw_a), enc.encode(raw_b), 64)
+        exact = euclidean_distance(a, b)
+        assert bound <= exact + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(series_pairs)
+    def test_paa_distance_lower_bounds_euclidean(self, pair):
+        raw_a, raw_b = pair
+        a, b = z_normalize(raw_a), z_normalize(raw_b)
+        reduced_a, reduced_b = paa(a, 8), paa(b, 8)
+        bound = paa_distance(reduced_a, reduced_b, 64)
+        assert bound <= euclidean_distance(a, b) + 1e-6
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.zeros(3), np.zeros(4))

@@ -1,0 +1,119 @@
+"""Tests for rotation-invariant circular-shift matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sax import (
+    SaxEncoder,
+    SaxParameters,
+    best_shift_euclidean,
+    best_shift_mindist,
+    euclidean_distance,
+    rotation_invariant_distance,
+    z_normalize,
+)
+
+series_strategy = arrays(
+    dtype=np.float64,
+    shape=64,
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestBestShiftEuclidean:
+    def test_recovers_known_shift(self):
+        base = np.sin(np.linspace(0, 2 * np.pi, 128, endpoint=False)) + 0.3 * np.cos(
+            np.linspace(0, 6 * np.pi, 128, endpoint=False)
+        )
+        rolled = np.roll(base, 37)
+        match = best_shift_euclidean(rolled, base)
+        assert match.shift == 37
+        assert match.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_identical_series(self):
+        series = np.random.default_rng(0).normal(size=64)
+        match = best_shift_euclidean(series, series)
+        assert match.shift == 0
+        assert match.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            best_shift_euclidean(np.zeros(8), np.zeros(9))
+
+    @settings(max_examples=40, deadline=None)
+    @given(series_strategy, st.integers(min_value=0, max_value=63))
+    def test_shift_invariance_property(self, series, shift):
+        """d(rot(a, s), a) == 0 for every s — the rotation invariance the
+        paper requires of the recogniser."""
+        match = best_shift_euclidean(np.roll(series, shift), series)
+        assert match.distance == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(series_strategy, series_strategy)
+    def test_never_exceeds_fixed_phase(self, a, b):
+        best = best_shift_euclidean(a, b).distance
+        fixed = euclidean_distance(z_normalize(a), z_normalize(b))
+        assert best <= fixed + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(series_strategy, series_strategy)
+    def test_symmetry(self, a, b):
+        ab = best_shift_euclidean(a, b).distance
+        ba = best_shift_euclidean(b, a).distance
+        assert ab == pytest.approx(ba, abs=1e-6)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=32), rng.normal(size=32)
+        an, bn = z_normalize(a), z_normalize(b)
+        brute = min(
+            euclidean_distance(an, np.roll(bn, -s)) for s in range(32)
+        )
+        fft = best_shift_euclidean(a, b).distance
+        assert fft == pytest.approx(brute, abs=1e-9)
+
+
+class TestBestShiftMindist:
+    def encoder(self):
+        return SaxEncoder(SaxParameters(word_length=16, alphabet_size=6))
+
+    def test_rotated_word_matches(self):
+        enc = self.encoder()
+        base = np.sin(np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        word = enc.encode(base)
+        rotated = word.rotated(5)
+        match = best_shift_mindist(word, rotated, 64)
+        assert match.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_incompatible_parameters(self):
+        a = SaxEncoder(SaxParameters(8, 6)).encode(np.arange(64.0))
+        b = SaxEncoder(SaxParameters(8, 4)).encode(np.arange(64.0))
+        with pytest.raises(ValueError):
+            best_shift_mindist(a, b, 64)
+
+    @settings(max_examples=30, deadline=None)
+    @given(series_strategy, series_strategy)
+    def test_lower_bounds_best_shift_euclidean(self, a, b):
+        """Word-level best-shift MINDIST lower-bounds the exact
+        best-shift distance (shifts at word granularity are a subset)."""
+        enc = self.encoder()
+        bound = best_shift_mindist(enc.encode(a), enc.encode(b), 64).distance
+        exact = best_shift_euclidean(a, b).distance
+        assert bound <= exact + 1e-6
+
+
+class TestRotationInvariantDistance:
+    def test_zero_for_rotations(self):
+        series = np.sin(np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        assert rotation_invariant_distance(np.roll(series, 9), series) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_with_encoder_prune(self):
+        enc = SaxEncoder(SaxParameters(word_length=16, alphabet_size=6))
+        a = np.sin(np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        b = np.roll(a, 11) + 0.01
+        assert rotation_invariant_distance(a, b, encoder=enc) < 0.5

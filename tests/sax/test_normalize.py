@@ -1,0 +1,64 @@
+"""Tests for z-normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sax import is_constant, z_normalize
+
+series_strategy = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=256),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestZNormalize:
+    def test_basic(self):
+        out = z_normalize(np.array([1.0, 2.0, 3.0]))
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_series_becomes_zero(self):
+        out = z_normalize(np.full(16, 7.3))
+        assert np.allclose(out, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            z_normalize(np.array([]))
+
+    def test_2d_raises(self):
+        with pytest.raises(ValueError):
+            z_normalize(np.zeros((3, 3)))
+
+    def test_shift_and_scale_invariance(self):
+        base = np.sin(np.linspace(0, 7, 100))
+        assert np.allclose(z_normalize(base), z_normalize(3.0 * base + 10.0))
+
+    @given(series_strategy)
+    def test_output_statistics(self, series):
+        out = z_normalize(series)
+        if is_constant(series):
+            assert np.allclose(out, 0.0)
+        else:
+            assert out.mean() == pytest.approx(0.0, abs=1e-6)
+            assert out.std() == pytest.approx(1.0, rel=1e-6)
+
+    @given(series_strategy)
+    def test_idempotent(self, series):
+        once = z_normalize(series)
+        twice = z_normalize(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestIsConstant:
+    def test_detects_constant(self):
+        assert is_constant(np.full(8, 2.5))
+        assert not is_constant(np.array([1.0, 2.0]))
+
+    def test_threshold(self):
+        nearly = np.full(8, 1.0)
+        nearly[0] += 1e-12
+        assert is_constant(nearly)

@@ -1,0 +1,79 @@
+"""Tests for Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sax import paa, paa_inverse
+
+
+class TestPaa:
+    def test_exact_division(self):
+        series = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        assert np.allclose(paa(series, 3), [1.0, 2.0, 3.0])
+
+    def test_identity_when_segments_equal_length(self):
+        series = np.array([3.0, 1.0, 4.0, 1.0])
+        assert np.allclose(paa(series, 4), series)
+
+    def test_single_segment_is_mean(self):
+        series = np.arange(10, dtype=float)
+        assert paa(series, 1)[0] == pytest.approx(series.mean())
+
+    def test_non_divisible_lengths(self):
+        # 5 points into 2 segments: weights 2.5 each.
+        series = np.array([1.0, 1.0, 1.0, 3.0, 3.0])
+        out = paa(series, 2)
+        # First segment: 1,1,half of the middle 1 -> mean 1.
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx((0.5 * 1.0 + 3.0 + 3.0) / 2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paa(np.arange(4.0), 0)
+        with pytest.raises(ValueError):
+            paa(np.arange(4.0), 5)
+        with pytest.raises(ValueError):
+            paa(np.zeros((2, 2)), 1)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=4, max_value=128),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_mean_preserved(self, series, segments):
+        if segments > len(series):
+            segments = len(series)
+        reduced = paa(series, segments)
+        # PAA is a weighted average: the overall mean is preserved for
+        # the generalised fractional-weight form as well.
+        assert reduced.mean() == pytest.approx(series.mean(), rel=1e-6, abs=1e-6)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=4, max_value=64),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    def test_range_bounded(self, series):
+        reduced = paa(series, max(1, len(series) // 3))
+        assert reduced.min() >= series.min() - 1e-9
+        assert reduced.max() <= series.max() + 1e-9
+
+
+class TestPaaInverse:
+    def test_roundtrip_on_piecewise_constant(self):
+        reduced = np.array([1.0, 5.0, -2.0])
+        expanded = paa_inverse(reduced, 12)
+        assert len(expanded) == 12
+        assert np.allclose(paa(expanded, 3), reduced)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paa_inverse(np.arange(5.0), 3)

@@ -1,0 +1,95 @@
+"""Tests for SAX parameter tuning (grid + harmony search)."""
+
+import pytest
+
+from repro.sax import (
+    HarmonySearchConfig,
+    SaxParameters,
+    grid_search,
+    harmony_search,
+)
+
+
+def quadratic_objective(params: SaxParameters) -> float:
+    """Peak at word_length=32, alphabet=6."""
+    return -((params.word_length - 32) ** 2) - 4.0 * (params.alphabet_size - 6) ** 2
+
+
+class TestGridSearch:
+    def test_finds_peak_on_grid(self):
+        result = grid_search(
+            quadratic_objective,
+            word_lengths=[8, 16, 32, 64],
+            alphabet_sizes=[4, 6, 8],
+        )
+        assert result.best == SaxParameters(word_length=32, alphabet_size=6)
+        assert result.best_score == 0.0
+        assert result.n_evaluations == 12
+
+    def test_tie_breaks_to_cheaper(self):
+        result = grid_search(lambda p: 1.0, word_lengths=[16, 8], alphabet_sizes=[6, 4])
+        assert result.best == SaxParameters(word_length=8, alphabet_size=4)
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            grid_search(quadratic_objective, [], [4])
+
+    def test_trace_records_all(self):
+        result = grid_search(quadratic_objective, [8, 16], [4, 5])
+        assert len(result.evaluations) == 4
+        evaluated = {(p.word_length, p.alphabet_size) for p, _ in result.evaluations}
+        assert evaluated == {(8, 4), (8, 5), (16, 4), (16, 5)}
+
+
+class TestHarmonySearch:
+    def test_improves_over_memory_initialisation(self):
+        config = HarmonySearchConfig(memory_size=4, iterations=80, seed=1)
+        result = harmony_search(
+            quadratic_objective,
+            word_length_range=(8, 64),
+            alphabet_range=(3, 10),
+            config=config,
+        )
+        # Should get close to the optimum (32, 6).
+        assert abs(result.best.word_length - 32) <= 8
+        assert abs(result.best.alphabet_size - 6) <= 2
+
+    def test_reproducible_for_fixed_seed(self):
+        config = HarmonySearchConfig(seed=7, iterations=30)
+        a = harmony_search(quadratic_objective, config=config)
+        b = harmony_search(quadratic_objective, config=config)
+        assert a.best == b.best
+        assert a.best_score == b.best_score
+
+    def test_evaluation_count(self):
+        config = HarmonySearchConfig(memory_size=5, iterations=20, seed=0)
+        result = harmony_search(quadratic_objective, config=config)
+        assert result.n_evaluations == 25  # memory + iterations
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            harmony_search(quadratic_objective, word_length_range=(10, 5))
+        with pytest.raises(ValueError):
+            harmony_search(quadratic_objective, alphabet_range=(1, 10))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HarmonySearchConfig(memory_size=1)
+        with pytest.raises(ValueError):
+            HarmonySearchConfig(consideration_rate=1.5)
+        with pytest.raises(ValueError):
+            HarmonySearchConfig(adjustment_rate=-0.1)
+        with pytest.raises(ValueError):
+            HarmonySearchConfig(iterations=0)
+
+    def test_respects_bounds(self):
+        config = HarmonySearchConfig(seed=3, iterations=40)
+        result = harmony_search(
+            quadratic_objective,
+            word_length_range=(8, 16),
+            alphabet_range=(4, 6),
+            config=config,
+        )
+        for params, _ in result.evaluations:
+            assert 8 <= params.word_length <= 16
+            assert 4 <= params.alphabet_size <= 6

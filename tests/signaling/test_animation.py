@@ -1,0 +1,85 @@
+"""Tests for the ring animation engine."""
+
+import pytest
+
+from repro.signaling import (
+    AllRoundLightRing,
+    AnimationScript,
+    Keyframe,
+    RingAnimator,
+    RingMode,
+    danger_flash_script,
+)
+
+
+class TestAnimationScript:
+    def test_keyframes_sorted(self):
+        script = AnimationScript()
+        script.add(2.0, lambda r: None, "late").add(1.0, lambda r: None, "early")
+        assert [k.label for k in script.keyframes] == ["early", "late"]
+        assert script.duration_s == 2.0
+
+    def test_blink_builder(self):
+        script = AnimationScript.blink(
+            mode_on=lambda r: r.trigger_safety(),
+            mode_off=lambda r: r.extinguish(),
+            period_s=1.0,
+            repeats=3,
+        )
+        assert len(script.keyframes) == 6
+        assert script.duration_s == pytest.approx(2.5)
+
+    def test_blink_validation(self):
+        with pytest.raises(ValueError):
+            AnimationScript.blink(lambda r: None, lambda r: None, 0.0, 1)
+        with pytest.raises(ValueError):
+            AnimationScript.blink(lambda r: None, lambda r: None, 1.0, 0)
+
+    def test_negative_keyframe_time(self):
+        with pytest.raises(ValueError):
+            Keyframe(at_time_s=-1.0, action=lambda r: None)
+
+
+class TestRingAnimator:
+    def test_applies_due_keyframes_once(self):
+        ring = AllRoundLightRing()
+        script = AnimationScript()
+        script.add(1.0, lambda r: r.extinguish(), "off")
+        script.add(2.0, lambda r: r.trigger_safety(), "danger")
+        animator = RingAnimator(ring, script)
+
+        assert animator.advance_to(0.5) == 0
+        assert animator.advance_to(1.0) == 1
+        assert ring.mode is RingMode.OFF
+        assert animator.advance_to(1.5) == 0  # not reapplied
+        assert animator.advance_to(5.0) == 1
+        assert ring.mode is RingMode.DANGER
+        assert animator.finished
+        assert animator.applied_labels == ["off", "danger"]
+
+    def test_time_must_not_go_backwards(self):
+        ring = AllRoundLightRing()
+        script = AnimationScript().add(1.0, lambda r: None, "a")
+        animator = RingAnimator(ring, script)
+        animator.advance_to(1.0)
+        with pytest.raises(ValueError):
+            animator.advance_to(0.5)
+
+    def test_reset(self):
+        ring = AllRoundLightRing()
+        script = AnimationScript().add(1.0, lambda r: r.extinguish(), "off")
+        animator = RingAnimator(ring, script)
+        animator.advance_to(2.0)
+        animator.reset()
+        assert not animator.finished
+        assert animator.advance_to(2.0) == 1
+
+    def test_danger_flash_alternates(self):
+        ring = AllRoundLightRing()
+        animator = RingAnimator(ring, danger_flash_script(period_s=1.0, repeats=2))
+        animator.advance_to(0.0)
+        assert ring.mode is RingMode.DANGER
+        animator.advance_to(0.5)
+        assert ring.mode is RingMode.OFF
+        animator.advance_to(1.0)
+        assert ring.mode is RingMode.DANGER

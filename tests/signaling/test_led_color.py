@@ -1,0 +1,77 @@
+"""Tests for LEDs and colours."""
+
+import pytest
+
+from repro.signaling import LedFault, LightColor, Rgb, TriColourLed
+
+
+class TestRgb:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rgb(256, 0, 0)
+        with pytest.raises(ValueError):
+            Rgb(-1, 0, 0)
+
+    def test_scaled(self):
+        assert Rgb(200, 100, 0).scaled(0.5) == Rgb(100, 50, 0)
+        with pytest.raises(ValueError):
+            Rgb(1, 1, 1).scaled(1.5)
+
+    def test_luminance_ordering(self):
+        # Green contributes most to luminance, blue least.
+        assert LightColor.GREEN.rgb.luminance() > LightColor.RED.rgb.luminance()
+        assert LightColor.WHITE.rgb.luminance() == pytest.approx(1.0)
+
+
+class TestLightColor:
+    def test_glyphs(self):
+        assert LightColor.RED.glyph() == "R"
+        assert LightColor.OFF.glyph() == "."
+
+    def test_is_lit(self):
+        assert LightColor.GREEN.is_lit
+        assert not LightColor.OFF.is_lit
+
+
+class TestTriColourLed:
+    def test_set_and_emit(self):
+        led = TriColourLed(index=0)
+        led.set(LightColor.GREEN, brightness=0.5)
+        assert led.emitted() == Rgb(0, 128, 0)
+
+    def test_off_emits_black(self):
+        led = TriColourLed(index=0)
+        led.set(LightColor.RED)
+        led.off()
+        assert led.emitted() == Rgb(0, 0, 0)
+
+    def test_power_draw_per_channel(self):
+        led = TriColourLed(index=0)
+        led.set(LightColor.RED)
+        red_power = led.power_draw_mw()
+        led.set(LightColor.WHITE)
+        assert led.power_draw_mw() == pytest.approx(3 * red_power)
+
+    def test_failure_injection(self):
+        led = TriColourLed(index=1)
+        led.inject_failure()
+        assert led.emitted() == Rgb(0, 0, 0)
+        assert led.power_draw_mw() == 0.0
+        with pytest.raises(LedFault):
+            led.set(LightColor.RED)
+
+    def test_repair(self):
+        led = TriColourLed(index=1)
+        led.inject_failure()
+        led.repair()
+        led.set(LightColor.GREEN)
+        assert led.color is LightColor.GREEN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriColourLed(index=-1)
+        with pytest.raises(ValueError):
+            TriColourLed(index=0, brightness=2.0)
+        led = TriColourLed(index=0)
+        with pytest.raises(ValueError):
+            led.set(LightColor.RED, brightness=-0.5)

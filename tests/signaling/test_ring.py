@@ -1,0 +1,127 @@
+"""Tests for the all-round light ring (paper Figure 1, R-DIR, R-SAFE-DEFAULT)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signaling import AllRoundLightRing, LightColor, RingMode
+
+
+class TestDefaults:
+    def test_danger_is_the_power_on_default(self):
+        ring = AllRoundLightRing()
+        assert ring.mode is RingMode.DANGER
+        assert ring.snapshot().glyphs() == "R" * 10
+
+    def test_non_danger_default_option(self):
+        ring = AllRoundLightRing(danger_is_default=False)
+        assert ring.mode is RingMode.OFF
+
+    def test_ten_leds_by_default(self):
+        assert AllRoundLightRing().led_count == 10
+
+    def test_minimum_leds(self):
+        with pytest.raises(ValueError):
+            AllRoundLightRing(led_count=2)
+
+
+class TestNavigationColours:
+    def test_forward_course_sector_layout(self):
+        ring = AllRoundLightRing()
+        ring.set_navigation(course_deg=0.0)  # course == body nose
+        snapshot = ring.snapshot()
+        # 110-degree side arcs on 10 LEDs: 4 green (0,36,72,108 deg),
+        # 3 red (252,288,324), 3 white (tail).
+        assert snapshot.count(LightColor.GREEN) == 4
+        assert snapshot.count(LightColor.RED) == 3
+        assert snapshot.count(LightColor.WHITE) == 3
+
+    def test_colour_pattern_rotates_with_course(self):
+        ring = AllRoundLightRing()
+        ring.set_navigation(course_deg=0.0)
+        base = ring.snapshot().glyphs()
+        ring.set_navigation(course_deg=72.0)  # exactly two LED pitches
+        rotated = ring.snapshot().glyphs()
+        assert rotated == base[8:] + base[:8] or rotated == base[2:] + base[:2]
+        # Same colour counts regardless of course.
+        assert sorted(rotated) == sorted(base)
+
+    def test_pattern_compensates_heading(self):
+        # Same world course, different airframe heading: the *world*
+        # pattern is preserved, so the body-frame pattern rotates.
+        a = AllRoundLightRing()
+        a.set_heading(0.0)
+        a.set_navigation(course_deg=0.0)
+        b = AllRoundLightRing()
+        b.set_heading(72.0)
+        b.set_navigation(course_deg=0.0)
+        assert a.snapshot().glyphs() != b.snapshot().glyphs()
+        assert sorted(a.snapshot().glyphs()) == sorted(b.snapshot().glyphs())
+
+    def test_bearing_colour_function(self):
+        ring = AllRoundLightRing()
+        assert ring.navigation_color_for_bearing(30.0) is LightColor.GREEN
+        assert ring.navigation_color_for_bearing(-30.0) is LightColor.RED
+        assert ring.navigation_color_for_bearing(180.0) is LightColor.WHITE
+        assert ring.navigation_color_for_bearing(115.0) is LightColor.WHITE
+
+    @given(course=st.floats(min_value=0, max_value=359.99, allow_nan=False))
+    def test_every_course_has_all_three_colours(self, course):
+        ring = AllRoundLightRing()
+        ring.set_navigation(course_deg=course)
+        snapshot = ring.snapshot()
+        assert snapshot.count(LightColor.GREEN) >= 3
+        assert snapshot.count(LightColor.RED) >= 3
+        assert snapshot.count(LightColor.WHITE) >= 2
+        assert snapshot.count(LightColor.OFF) == 0
+
+
+class TestSafety:
+    def test_trigger_safety_turns_all_red(self):
+        ring = AllRoundLightRing()
+        ring.set_navigation(course_deg=45.0)
+        ring.trigger_safety()
+        assert ring.snapshot().glyphs() == "R" * 10
+        assert ring.mode is RingMode.DANGER
+
+    def test_all_green_mode_exists_but_is_explicit(self):
+        ring = AllRoundLightRing()
+        ring.set_all_green()
+        assert ring.snapshot().glyphs() == "G" * 10
+
+    def test_extinguish(self):
+        ring = AllRoundLightRing()
+        ring.set_navigation(0.0)
+        ring.extinguish()
+        assert ring.snapshot().count(LightColor.OFF) == 10
+
+
+class TestFailures:
+    def test_failed_led_stays_dark(self):
+        ring = AllRoundLightRing()
+        ring.leds[3].inject_failure()
+        ring.trigger_safety()
+        assert ring.snapshot().colors[3] is LightColor.OFF
+        assert ring.snapshot().count(LightColor.RED) == 9
+
+    def test_healthy_fraction(self):
+        ring = AllRoundLightRing()
+        assert ring.healthy_fraction() == 1.0
+        ring.leds[0].inject_failure()
+        ring.leds[1].inject_failure()
+        assert ring.healthy_fraction() == pytest.approx(0.8)
+
+    def test_power_draw_counts_lit_leds(self):
+        ring = AllRoundLightRing()
+        ring.trigger_safety()
+        danger_power = ring.power_draw_mw()
+        ring.extinguish()
+        assert ring.power_draw_mw() == 0.0
+        assert danger_power > 0
+
+    def test_led_bearing(self):
+        ring = AllRoundLightRing()
+        assert ring.led_bearing_deg(0) == 0.0
+        assert ring.led_bearing_deg(5) == 180.0
+        with pytest.raises(IndexError):
+            ring.led_bearing_deg(10)

@@ -1,0 +1,104 @@
+"""Tests for the deprecated vertical LED array — including the
+confusability finding that led the paper to discard it."""
+
+import warnings
+
+import pytest
+
+from repro.signaling import DeprecatedComponentWarning, VerticalAnimation, VerticalLedArray
+
+
+class TestDeprecation:
+    def test_disabled_by_default(self):
+        array = VerticalLedArray()
+        assert not array.enabled
+        array.set_animation(VerticalAnimation.TAKEOFF)
+        assert array.lit_index_at(0.0) is None  # stays dark while disabled
+
+    def test_enable_warns(self):
+        array = VerticalLedArray()
+        with pytest.warns(DeprecatedComponentWarning):
+            array.enable()
+        assert array.enabled
+
+
+class TestAnimation:
+    def enabled_array(self, **kwargs) -> VerticalLedArray:
+        array = VerticalLedArray(**kwargs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            array.enable()
+        return array
+
+    def test_takeoff_chases_upward(self):
+        array = self.enabled_array(segments=4, chase_rate_hz=1.0)
+        array.set_animation(VerticalAnimation.TAKEOFF)
+        indices = [array.lit_index_at(t) for t in (0.0, 1.0, 2.0, 3.0)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_landing_chases_downward(self):
+        array = self.enabled_array(segments=4, chase_rate_hz=1.0)
+        array.set_animation(VerticalAnimation.LANDING)
+        indices = [array.lit_index_at(t) for t in (0.0, 1.0, 2.0, 3.0)]
+        assert indices == [3, 2, 1, 0]
+
+    def test_frame_rendering(self):
+        array = self.enabled_array(segments=3, chase_rate_hz=1.0)
+        array.set_animation(VerticalAnimation.TAKEOFF)
+        frame = array.frame_at(1.0)
+        assert [c.is_lit for c in frame] == [False, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerticalLedArray(segments=1)
+        with pytest.raises(ValueError):
+            VerticalLedArray(chase_rate_hz=0.0)
+        array = self.enabled_array()
+        with pytest.raises(ValueError):
+            array.sampled_sequence(0.0, 1.0)
+
+
+class TestConfusability:
+    """Reproduce the paper's negative finding: under realistic glance
+    sampling the two animations are hard to distinguish — the chase even
+    appears to run the WRONG way (temporal aliasing)."""
+
+    @staticmethod
+    def apparent_steps(sequence, segments=6):
+        """Signed per-glance motion, wrapped to the shortest direction."""
+        steps = []
+        for a, b in zip(sequence[:-1], sequence[1:]):
+            steps.append((b - a + segments // 2) % segments - segments // 2)
+        return steps
+
+    def test_takeoff_glanced_slowly_appears_to_descend(self):
+        # Chase at 4 Hz over 6 segments, glanced once per second: the
+        # per-glance step is +4 positions, which wraps to -2 — exactly
+        # the signature of a LANDING animation.  This is the mechanism
+        # behind the user feedback that the two "serve to confuse".
+        up = self.enabled(VerticalAnimation.TAKEOFF)
+        seq = up.sampled_sequence(duration_s=5.0, sample_hz=1.0)
+        steps = self.apparent_steps(seq)
+        assert all(s < 0 for s in steps)
+
+    def test_landing_and_aliased_takeoff_same_direction_cue(self):
+        up = self.enabled(VerticalAnimation.TAKEOFF)
+        down = self.enabled(VerticalAnimation.LANDING)
+        up_steps = self.apparent_steps(up.sampled_sequence(5.0, 1.0))
+        down_steps = self.apparent_steps(down.sampled_sequence(5.0, 2.0))
+        assert set(up_steps) == set(down_steps)
+
+    def test_aliasing_at_observer_rate(self):
+        # Sampling exactly at the chase rate freezes both animations:
+        # a constant-looking display in both directions.
+        up = self.enabled(VerticalAnimation.TAKEOFF, chase_rate_hz=4.0, segments=4)
+        seq = up.sampled_sequence(duration_s=1.0, sample_hz=1.0)
+        assert len(set(seq)) == 1
+
+    def enabled(self, animation, **kwargs) -> VerticalLedArray:
+        array = VerticalLedArray(**kwargs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            array.enable()
+        array.set_animation(animation)
+        return array

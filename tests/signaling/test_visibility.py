@@ -1,0 +1,73 @@
+"""Tests for the luminosity/visibility model (requirement R-VISIBLE)."""
+
+import math
+
+import pytest
+
+from repro.signaling import (
+    DAYLIGHT,
+    DUSK,
+    OVERCAST,
+    AmbientCondition,
+    VisibilityModel,
+    high_luminosity_model,
+)
+
+
+class TestVisibilityModel:
+    def test_inverse_square_law(self):
+        model = VisibilityModel()
+        near = model.illuminance_at(0.1, 5.0)
+        far = model.illuminance_at(0.1, 10.0)
+        assert near == pytest.approx(4.0 * far)
+
+    def test_visible_distance_grows_with_power(self):
+        model = VisibilityModel()
+        assert model.max_visible_distance_m(0.2, DAYLIGHT) > model.max_visible_distance_m(
+            0.05, DAYLIGHT
+        )
+
+    def test_easier_at_dusk_than_daylight(self):
+        model = VisibilityModel()
+        assert model.max_visible_distance_m(0.06, DUSK) > model.max_visible_distance_m(
+            0.06, DAYLIGHT
+        )
+
+    def test_required_power_roundtrip(self):
+        model = VisibilityModel()
+        power = model.required_power_w(30.0, OVERCAST)
+        assert model.max_visible_distance_m(power, OVERCAST) == pytest.approx(30.0)
+
+    def test_indicator_led_marginal_in_daylight(self):
+        """The paper's open issue: a 60 mW indicator LED is marginal at
+        working distances in full daylight."""
+        model = VisibilityModel()
+        distance = model.max_visible_distance_m(0.06, DAYLIGHT)
+        assert distance < 30.0  # not much beyond the paper's 3 m envelope
+
+    def test_high_luminosity_clears_daylight(self):
+        """And the suggested fix works: a lensed high-luminosity part
+        extends the daylight range by a large factor."""
+        indicator = VisibilityModel()
+        upgraded = high_luminosity_model()
+        ratio = upgraded.max_visible_distance_m(0.5, DAYLIGHT) / indicator.max_visible_distance_m(
+            0.5, DAYLIGHT
+        )
+        assert ratio > 2.0
+
+    def test_zero_power_invisible(self):
+        model = VisibilityModel()
+        assert model.max_visible_distance_m(0.0, DUSK) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VisibilityModel(efficacy_lm_per_w=0.0)
+        with pytest.raises(ValueError):
+            VisibilityModel(beam_solid_angle_sr=5 * math.pi)
+        with pytest.raises(ValueError):
+            AmbientCondition("bad", -1.0, 0.1)
+        model = VisibilityModel()
+        with pytest.raises(ValueError):
+            model.illuminance_at(0.1, 0.0)
+        with pytest.raises(ValueError):
+            model.luminous_intensity_cd(-0.1)

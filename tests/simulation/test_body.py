@@ -1,0 +1,143 @@
+"""Tests for the multirotor body dynamics."""
+
+import pytest
+
+from repro.geometry import Vec3
+from repro.simulation import BodyLimits, BodyState, MultirotorBody
+
+
+def step_for(body: MultirotorBody, duration_s: float, dt: float = 0.02, wind=Vec3()):
+    for _ in range(int(duration_s / dt)):
+        body.step(dt, wind_velocity=wind)
+
+
+class TestRotors:
+    def test_parked_body_does_not_move(self):
+        body = MultirotorBody()
+        body.command_velocity(Vec3(1, 0, 1))
+        step_for(body, 1.0)
+        assert body.state.position.is_close(Vec3())
+
+    def test_cannot_stop_rotors_airborne(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 2))
+        step_for(body, 2.0)
+        assert not body.state.on_ground
+        with pytest.raises(RuntimeError):
+            body.stop_rotors()
+
+    def test_stop_on_ground_clears_commands(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(1, 0, 0))
+        body.stop_rotors()
+        assert body.commanded_velocity.is_close(Vec3())
+
+
+class TestVelocityResponse:
+    def test_converges_to_command(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 2))
+        step_for(body, 3.0)
+        body.command_velocity(Vec3(2, 0, 0))
+        step_for(body, 3.0)
+        assert body.state.velocity.x == pytest.approx(2.0, abs=0.1)
+
+    def test_speed_clamped_to_limits(self):
+        limits = BodyLimits(max_horizontal_speed_mps=5.0)
+        body = MultirotorBody(limits=limits)
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 1))
+        step_for(body, 1.0)
+        body.command_velocity(Vec3(100, 0, 0))
+        step_for(body, 5.0)
+        assert body.state.ground_speed() <= 5.0 + 0.3
+
+    def test_vertical_speed_clamped(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 100))
+        step_for(body, 2.0)
+        assert body.state.velocity.z <= body.limits.max_vertical_speed_mps + 0.1
+
+    def test_acceleration_limited(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 1))
+        step_for(body, 1.0)
+        body.command_velocity(Vec3(10, 0, 0))
+        before = body.state.velocity
+        body.step(0.02)
+        delta = (body.state.velocity - before).norm()
+        assert delta <= body.limits.max_acceleration_mps2 * 0.02 + 1e-9
+
+
+class TestGroundContact:
+    def test_ground_clamp(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 2))
+        step_for(body, 2.0)
+        body.command_velocity(Vec3(0, 0, -3))
+        step_for(body, 5.0)
+        assert body.state.position.z == 0.0
+        assert body.state.on_ground
+        assert body.state.velocity.z == 0.0
+
+    def test_airborne_flag(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        assert body.state.on_ground
+        body.command_velocity(Vec3(0, 0, 2))
+        step_for(body, 2.0)
+        assert not body.state.on_ground
+
+
+class TestYawAndCourse:
+    def test_yaw_rate_integration(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 1))
+        step_for(body, 1.0)
+        body.command_yaw_rate(90.0)
+        step_for(body, 1.0)
+        assert body.state.heading_deg == pytest.approx(90.0, abs=5.0)
+
+    def test_course_none_when_hovering(self):
+        state = BodyState()
+        assert state.course_deg() is None
+
+    def test_course_east(self):
+        state = BodyState(velocity=Vec3(3, 0, 0))
+        assert state.course_deg() == pytest.approx(90.0)
+
+    def test_course_north(self):
+        state = BodyState(velocity=Vec3(0, 3, 0))
+        assert state.course_deg() == pytest.approx(0.0)
+
+
+class TestWind:
+    def test_wind_pushes_drone(self):
+        body = MultirotorBody()
+        body.start_rotors()
+        body.command_velocity(Vec3(0, 0, 2))
+        step_for(body, 2.0)
+        body.command_velocity(Vec3(0, 0, 0))
+        start_x = body.state.position.x
+        step_for(body, 5.0, wind=Vec3(5, 0, 0))
+        assert body.state.position.x > start_x + 1.0
+
+    def test_invalid_dt(self):
+        body = MultirotorBody()
+        with pytest.raises(ValueError):
+            body.step(0.0)
+
+
+class TestLimitsValidation:
+    def test_positive_limits_required(self):
+        with pytest.raises(ValueError):
+            BodyLimits(max_horizontal_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            BodyLimits(velocity_time_constant_s=-1.0)

@@ -1,0 +1,66 @@
+"""Tests for the state estimator and camera mount."""
+
+import pytest
+
+from repro.geometry import Vec3
+from repro.simulation import BodyState, CameraMount, StateEstimator
+
+
+class TestStateEstimator:
+    def test_perfect_estimator_is_exact(self):
+        est = StateEstimator.perfect()
+        truth = BodyState(position=Vec3(1, 2, 3), heading_deg=45.0, on_ground=False)
+        estimate = est.estimate(truth)
+        assert estimate.position.is_close(truth.position)
+        assert estimate.heading_deg == truth.heading_deg
+
+    def test_noise_statistics(self):
+        est = StateEstimator(horizontal_sigma_m=0.5, vertical_sigma_m=0.1, seed=1)
+        truth = BodyState(position=Vec3(0, 0, 10), on_ground=False)
+        errors = [est.estimate(truth).position.x for _ in range(500)]
+        mean = sum(errors) / len(errors)
+        assert abs(mean) < 0.1
+        var = sum((e - mean) ** 2 for e in errors) / len(errors)
+        assert 0.1 < var < 0.5
+
+    def test_on_ground_altitude_clamped(self):
+        est = StateEstimator(vertical_sigma_m=1.0, seed=2)
+        truth = BodyState(position=Vec3(0, 0, 0), on_ground=True)
+        for _ in range(20):
+            assert est.estimate(truth).position.z == 0.0
+
+    def test_reproducible(self):
+        a = StateEstimator(seed=3)
+        b = StateEstimator(seed=3)
+        truth = BodyState(position=Vec3(5, 5, 5), on_ground=False)
+        assert a.estimate(truth).position.is_close(b.estimate(truth).position)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateEstimator(horizontal_sigma_m=-0.1)
+
+
+class TestCameraMount:
+    def test_camera_points_at_target(self):
+        mount = CameraMount()
+        state = BodyState(position=Vec3(0, 3, 5), on_ground=False)
+        camera = mount.camera_for(state, target=Vec3(0, 0, 1.1))
+        col, row, depth = camera.project_point(Vec3(0, 0, 1.1))
+        assert col == pytest.approx(camera.intrinsics.cx)
+        assert row == pytest.approx(camera.intrinsics.cy)
+        assert depth > 0
+
+    def test_mount_offset_applied(self):
+        mount = CameraMount(mount_offset=Vec3(0, 0, -0.2))
+        state = BodyState(position=Vec3(0, 0, 5))
+        camera = mount.camera_for(state, target=Vec3(0, 3, 0))
+        assert camera.position.z == pytest.approx(4.8)
+
+    def test_subtended_pixels_shrink_with_range(self):
+        mount = CameraMount()
+        near = BodyState(position=Vec3(0, 2, 3), on_ground=False)
+        far = BodyState(position=Vec3(0, 8, 3), on_ground=False)
+        target = Vec3(0, 0, 1.0)
+        assert mount.subtended_pixels(near, target, 1.8) > mount.subtended_pixels(
+            far, target, 1.8
+        )

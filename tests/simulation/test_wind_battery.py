@@ -1,0 +1,124 @@
+"""Tests for the wind model and battery."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec3
+from repro.simulation import Battery, BatteryDepleted, CalmWind, GustEpisode, WindModel
+
+
+class TestWindModel:
+    def test_calm_wind_is_zero(self):
+        wind = CalmWind()
+        wind.update(10.0)
+        assert wind.velocity_at(10.0).is_close(Vec3())
+
+    def test_mean_velocity_direction(self):
+        wind = WindModel(mean_speed_mps=3.0, direction_deg=90.0, turbulence=0.0,
+                         gust_rate_per_min=0.0)
+        v = wind.mean_velocity()
+        assert v.x == pytest.approx(3.0)
+        assert v.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_reproducible_for_seed(self):
+        a = WindModel(seed=5)
+        b = WindModel(seed=5)
+        for t in (1.0, 2.0, 5.0, 10.0):
+            a.update(t)
+            b.update(t)
+            assert a.velocity_at(t).is_close(b.velocity_at(t))
+
+    def test_time_must_not_go_backwards(self):
+        wind = WindModel()
+        wind.update(5.0)
+        with pytest.raises(ValueError):
+            wind.update(4.0)
+
+    def test_gusts_spawn_at_expected_rate(self):
+        wind = WindModel(gust_rate_per_min=30.0, seed=2)
+        count_before = wind.active_gust_count
+        wind.update(60.0)
+        # ~30 gusts/min; most decay within ~9 s, so a handful are active.
+        assert wind.active_gust_count >= 1
+        assert wind.active_gust_count >= count_before
+
+    def test_turbulence_statistics(self):
+        wind = WindModel(
+            mean_speed_mps=0.0, turbulence=1.0, gust_rate_per_min=0.0, seed=9
+        )
+        samples = []
+        for k in range(1, 2001):
+            t = k * 0.5
+            wind.update(t)
+            samples.append(wind.velocity_at(t).x)
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.3
+        assert 0.4 < math.sqrt(var) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindModel(mean_speed_mps=-1.0)
+        with pytest.raises(ValueError):
+            WindModel(correlation_time_s=0.0)
+
+
+class TestGustEpisode:
+    def test_zero_before_start(self):
+        gust = GustEpisode(start_s=5.0, velocity=Vec3(4, 0, 0))
+        assert gust.velocity_at(4.0).is_close(Vec3())
+
+    def test_decays_exponentially(self):
+        gust = GustEpisode(start_s=0.0, velocity=Vec3(4, 0, 0), tau_s=2.0)
+        assert gust.velocity_at(0.0).x == pytest.approx(4.0)
+        assert gust.velocity_at(2.0).x == pytest.approx(4.0 / math.e)
+        assert gust.velocity_at(20.0).x < 0.01
+
+
+class TestBattery:
+    def test_full_at_start(self):
+        battery = Battery(capacity_wh=80.0)
+        assert battery.state_of_charge == 1.0
+        assert not battery.low
+        assert not battery.empty
+
+    def test_coulomb_counting(self):
+        battery = Battery(capacity_wh=10.0)
+        battery.draw(power_w=1000.0, duration_s=18.0)  # 5 Wh
+        assert battery.remaining_wh == pytest.approx(5.0)
+        assert battery.state_of_charge == pytest.approx(0.5)
+
+    def test_depletion_raises_and_empties(self):
+        battery = Battery(capacity_wh=1.0)
+        with pytest.raises(BatteryDepleted):
+            battery.draw(power_w=10_000.0, duration_s=3600.0)
+        assert battery.empty
+
+    def test_low_flag_at_reserve(self):
+        battery = Battery(capacity_wh=10.0, reserve_fraction=0.5)
+        battery.draw(power_w=1000.0, duration_s=19.0)
+        assert battery.low
+
+    def test_flight_draw_includes_payload(self):
+        a = Battery(capacity_wh=100.0)
+        b = Battery(capacity_wh=100.0)
+        a.flight_draw(speed_mps=0.0, duration_s=600.0)
+        b.flight_draw(speed_mps=0.0, duration_s=600.0, payload_w=50.0)
+        assert b.remaining_wh < a.remaining_wh
+
+    def test_endurance_estimate(self):
+        battery = Battery(capacity_wh=79.0, reserve_fraction=0.2)
+        hover = battery.endurance_estimate_s()
+        moving = battery.endurance_estimate_s(speed_mps=10.0)
+        assert hover > moving > 0
+        # H520-class: ~20 min hover endurance is plausible.
+        assert 600 < hover < 2400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_wh=0.0)
+        with pytest.raises(ValueError):
+            Battery(reserve_fraction=1.0)
+        with pytest.raises(ValueError):
+            Battery().draw(-1.0, 1.0)

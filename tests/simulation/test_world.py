@@ -1,0 +1,112 @@
+"""Tests for the world container and entity stepping."""
+
+import pytest
+
+from repro.geometry import Vec2, Vec3
+from repro.simulation import SimClock, StaticObstacle, World
+
+
+class CountingEntity:
+    """Minimal entity that counts its updates."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.updates = 0
+
+    def update(self, world, dt: float) -> None:
+        self.updates += 1
+
+    def position3(self) -> Vec3:
+        return Vec3()
+
+
+class TestWorld:
+    def test_step_advances_clock_and_entities(self):
+        world = World(clock=SimClock(time_step_s=0.1))
+        entity = CountingEntity("counter")
+        world.add_entity(entity)
+        world.step()
+        assert world.now_s == pytest.approx(0.1)
+        assert entity.updates == 1
+
+    def test_duplicate_names_rejected(self):
+        world = World()
+        world.add_entity(CountingEntity("same"))
+        with pytest.raises(ValueError):
+            world.add_entity(CountingEntity("same"))
+
+    def test_entity_lookup(self):
+        world = World()
+        entity = CountingEntity("findme")
+        world.add_entity(entity)
+        assert world.entity("findme") is entity
+        with pytest.raises(KeyError):
+            world.entity("ghost")
+
+    def test_run_for(self):
+        world = World(clock=SimClock(time_step_s=0.05))
+        entity = CountingEntity("c")
+        world.add_entity(entity)
+        world.run_for(1.0)
+        assert entity.updates == 20
+
+    def test_run_until_condition(self):
+        world = World()
+        entity = CountingEntity("c")
+        world.add_entity(entity)
+        met = world.run_until(lambda w: entity.updates >= 5, timeout_s=10.0)
+        assert met
+        assert entity.updates == 5
+
+    def test_run_until_timeout(self):
+        world = World()
+        met = world.run_until(lambda w: False, timeout_s=0.5)
+        assert not met
+        assert world.now_s >= 0.5
+
+    def test_scheduled_events_fire_during_step(self):
+        world = World()
+        fired = []
+        world.events.schedule(0.1, lambda: fired.append(world.now_s))
+        world.run_for(0.3)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(0.1, abs=0.03)
+
+    def test_record_logs_at_current_time(self):
+        world = World()
+        world.run_for(0.2)
+        world.record("tester", "ping", value=1)
+        event = world.log.last()
+        assert event is not None
+        assert event.time_s == pytest.approx(world.now_s)
+        assert event.detail == {"value": 1}
+
+    def test_find_entities(self):
+        world = World()
+        world.add_entity(CountingEntity("a"))
+        world.add_entity(CountingEntity("b"))
+        found = world.find_entities(lambda e: e.name == "b")
+        assert len(found) == 1
+
+
+class TestObstacles:
+    def test_blocks_inside_cylinder(self):
+        tree = StaticObstacle("tree", Vec2(5, 5), radius_m=1.0, height_m=3.0)
+        assert tree.blocks(Vec3(5.5, 5, 1.0))
+        assert not tree.blocks(Vec3(8, 5, 1.0))
+        assert not tree.blocks(Vec3(5, 5, 4.0))  # above the canopy
+
+    def test_margin(self):
+        tree = StaticObstacle("tree", Vec2(0, 0), radius_m=1.0)
+        assert tree.blocks(Vec3(1.4, 0, 1.0), margin_m=0.5)
+        assert not tree.blocks(Vec3(1.6, 0, 1.0), margin_m=0.5)
+
+    def test_world_obstruction_query(self):
+        world = World()
+        world.add_obstacle(StaticObstacle("tree", Vec2(2, 2), radius_m=1.0))
+        assert world.obstruction_at(Vec3(2, 2, 1.0)) is not None
+        assert world.obstruction_at(Vec3(10, 10, 1.0)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticObstacle("bad", Vec2(0, 0), radius_m=0.0)

@@ -1,0 +1,96 @@
+"""Tests for connected-component labelling (both implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.vision import (
+    BinaryImage,
+    label_components,
+    label_components_fast,
+    largest_component,
+)
+
+
+class TestLabelComponents:
+    def test_empty_image(self):
+        assert label_components(BinaryImage.zeros(5, 5)) == []
+        assert largest_component(BinaryImage.zeros(5, 5)) is None
+
+    def test_single_blob(self):
+        arr = np.zeros((6, 6), dtype=bool)
+        arr[1:4, 1:4] = True
+        comps = label_components(BinaryImage(arr))
+        assert len(comps) == 1
+        assert comps[0].area == 9
+        assert comps[0].bbox == (1, 1, 3, 3)
+        assert comps[0].centroid == (2.0, 2.0)
+
+    def test_two_separate_blobs_sorted_by_area(self):
+        arr = np.zeros((10, 10), dtype=bool)
+        arr[0:2, 0:2] = True  # area 4
+        arr[5:9, 5:9] = True  # area 16
+        comps = label_components(BinaryImage(arr))
+        assert [c.area for c in comps] == [16, 4]
+
+    def test_diagonal_touch_is_connected(self):
+        # 8-connectivity joins diagonal neighbours.
+        arr = np.zeros((4, 4), dtype=bool)
+        arr[0, 0] = True
+        arr[1, 1] = True
+        comps = label_components(BinaryImage(arr))
+        assert len(comps) == 1
+        assert comps[0].area == 2
+
+    def test_min_area_filter(self):
+        arr = np.zeros((8, 8), dtype=bool)
+        arr[0, 0] = True
+        arr[4:7, 4:7] = True
+        comps = label_components(BinaryImage(arr), min_area=2)
+        assert len(comps) == 1
+        assert comps[0].area == 9
+
+    def test_u_shape_single_component(self):
+        # A 'U' exercises the union-find merge path.
+        arr = np.zeros((5, 5), dtype=bool)
+        arr[0:4, 0] = True
+        arr[0:4, 4] = True
+        arr[4, 0:5] = True
+        comps = label_components(BinaryImage(arr))
+        assert len(comps) == 1
+
+    def test_invalid_min_area(self):
+        with pytest.raises(ValueError):
+            label_components(BinaryImage.zeros(3, 3), min_area=0)
+
+    def test_largest_component_mask_subset(self):
+        arr = np.zeros((10, 10), dtype=bool)
+        arr[1:3, 1:3] = True
+        arr[6:9, 6:9] = True
+        biggest = largest_component(BinaryImage(arr))
+        assert biggest is not None
+        assert biggest.area == 9
+        assert not biggest.mask.pixels[1, 1]
+
+
+class TestFastAgreesWithReference:
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(dtype=bool, shape=(12, 12)))
+    def test_same_components(self, raw):
+        mask = BinaryImage(raw)
+        reference = label_components(mask)
+        fast = label_components_fast(mask)
+        assert len(reference) == len(fast)
+        ref_areas = sorted(c.area for c in reference)
+        fast_areas = sorted(c.area for c in fast)
+        assert ref_areas == fast_areas
+        # Identical largest-component masks (unique by construction when
+        # areas differ; compare via IoU to be robust to label order).
+        if reference:
+            ref_sorted = sorted(reference, key=lambda c: (c.area, c.bbox))
+            fast_sorted = sorted(fast, key=lambda c: (c.area, c.bbox))
+            for a, b in zip(ref_sorted, fast_sorted):
+                assert a.bbox == b.bbox
+                assert a.mask.iou(b.mask) == 1.0

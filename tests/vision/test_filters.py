@@ -1,0 +1,105 @@
+"""Tests for spatial filters."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Image,
+    box_blur,
+    gaussian_blur,
+    gaussian_kernel_1d,
+    gradient_magnitude,
+    sobel_gradients,
+)
+
+
+class TestBoxBlur:
+    def test_radius_zero_is_identity(self):
+        img = Image.full(4, 4, 0.3)
+        assert box_blur(img, 0) is img
+
+    def test_constant_image_unchanged(self):
+        img = Image.full(8, 8, 0.6)
+        blurred = box_blur(img, 2)
+        assert np.allclose(blurred.pixels, 0.6)
+
+    def test_blur_spreads_impulse(self):
+        base = np.zeros((9, 9))
+        base[4, 4] = 1.0
+        blurred = box_blur(Image(base), 1)
+        assert blurred.pixels[4, 4] == pytest.approx(1.0 / 9.0)
+        assert blurred.pixels[3, 3] == pytest.approx(1.0 / 9.0)
+        assert blurred.pixels[0, 0] == 0.0
+
+    def test_preserves_mean_in_interior(self):
+        rng = np.random.default_rng(0)
+        img = Image(rng.uniform(0.2, 0.8, (32, 32)))
+        blurred = box_blur(img, 2)
+        assert blurred.mean() == pytest.approx(img.mean(), abs=0.02)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            box_blur(Image.zeros(4, 4), -1)
+
+
+class TestGaussianKernel:
+    def test_normalised(self):
+        kernel = gaussian_kernel_1d(1.5)
+        assert kernel.sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        kernel = gaussian_kernel_1d(2.0)
+        assert np.allclose(kernel, kernel[::-1])
+
+    def test_peak_at_centre(self):
+        kernel = gaussian_kernel_1d(1.0)
+        assert np.argmax(kernel) == len(kernel) // 2
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_1d(0.0)
+
+
+class TestGaussianBlur:
+    def test_constant_unchanged(self):
+        img = Image.full(10, 10, 0.4)
+        assert np.allclose(gaussian_blur(img, 1.0).pixels, 0.4, atol=1e-12)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        img = Image(rng.uniform(0, 1, (32, 32)))
+        blurred = gaussian_blur(img, 2.0)
+        assert blurred.pixels.var() < img.pixels.var()
+
+    def test_edge_softened_monotonically(self):
+        base = np.zeros((16, 16))
+        base[:, 8:] = 1.0
+        blurred = gaussian_blur(Image(base), 1.0)
+        row = blurred.pixels[8]
+        assert np.all(np.diff(row) >= -1e-12)
+
+
+class TestSobel:
+    def test_vertical_edge_gives_gx(self):
+        base = np.zeros((8, 8))
+        base[:, 4:] = 1.0
+        gx, gy = sobel_gradients(Image(base))
+        assert np.abs(gx).max() > 0
+        assert np.abs(gy).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_horizontal_edge_gives_gy(self):
+        base = np.zeros((8, 8))
+        base[4:, :] = 1.0
+        gx, gy = sobel_gradients(Image(base))
+        assert np.abs(gy).max() > 0
+        assert np.abs(gx).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_image_zero_gradient(self):
+        magnitude = gradient_magnitude(Image.full(8, 8, 0.7))
+        assert np.allclose(magnitude, 0.0)
+
+    def test_magnitude_combines_both(self):
+        base = np.zeros((10, 10))
+        base[5:, 5:] = 1.0
+        magnitude = gradient_magnitude(Image(base))
+        assert magnitude.max() > 0

@@ -1,0 +1,66 @@
+"""Tests for central moments and Hu invariants."""
+
+import numpy as np
+import pytest
+
+from repro.vision import BinaryImage, central_moments, hu_moments, raster_capsule, raster_disc
+
+
+def rotated_capsule(angle_deg: float) -> BinaryImage:
+    """A capsule at the given orientation, centred in a 96x96 frame."""
+    angle = np.radians(angle_deg)
+    cy, cx, half = 48.0, 48.0, 22.0
+    dy, dx = half * np.sin(angle), half * np.cos(angle)
+    return raster_capsule(96, 96, (cy - dy, cx - dx), (cy + dy, cx + dx), 6)
+
+
+class TestCentralMoments:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            central_moments(BinaryImage.zeros(4, 4))
+
+    def test_m00_is_area(self):
+        disc = raster_disc(32, 32, (16, 16), 8)
+        assert central_moments(disc).m00 == disc.foreground_count()
+
+    def test_symmetric_shape_zero_odd_moments(self):
+        disc = raster_disc(33, 33, (16, 16), 10)
+        m = central_moments(disc)
+        assert abs(m.mu30) / max(m.m00, 1) < 1.0
+        assert abs(m.mu03) / max(m.m00, 1) < 1.0
+
+    def test_horizontal_elongation(self):
+        capsule = raster_capsule(64, 64, (32, 10), (32, 54), 5)
+        m = central_moments(capsule)
+        assert m.mu20 > m.mu02  # wider than tall
+
+
+class TestHuMoments:
+    def test_seven_values(self):
+        assert hu_moments(raster_disc(32, 32, (16, 16), 10)).shape == (7,)
+
+    def test_rotation_invariance(self):
+        reference = hu_moments(rotated_capsule(0.0))
+        for angle in (30.0, 65.0, 90.0, 140.0):
+            rotated = hu_moments(rotated_capsule(angle))
+            # First three invariants are the numerically stable ones.
+            assert np.allclose(reference[:3], rotated[:3], atol=0.15)
+
+    def test_scale_invariance(self):
+        small = hu_moments(raster_disc(64, 64, (32, 32), 8))
+        large = hu_moments(raster_disc(64, 64, (32, 32), 24))
+        assert np.allclose(small[:2], large[:2], atol=0.2)
+
+    def test_translation_invariance(self):
+        a = hu_moments(raster_disc(64, 64, (20, 20), 10))
+        b = hu_moments(raster_disc(64, 64, (40, 40), 10))
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_discriminates_shapes(self):
+        disc = hu_moments(raster_disc(64, 64, (32, 32), 15))
+        capsule = hu_moments(raster_capsule(64, 64, (32, 10), (32, 54), 5))
+        assert np.linalg.norm(disc - capsule) > 0.5
+
+    def test_raw_scale_option(self):
+        raw = hu_moments(raster_disc(32, 32, (16, 16), 10), log_scale=False)
+        assert abs(raw[0]) < 1.0  # raw h1 of a compact shape is small

@@ -1,0 +1,81 @@
+"""Tests for binary morphology."""
+
+import numpy as np
+import pytest
+
+from repro.vision import BinaryImage, closing, dilate, erode, opening
+
+
+def block_mask(size=11, lo=4, hi=7) -> BinaryImage:
+    arr = np.zeros((size, size), dtype=bool)
+    arr[lo:hi, lo:hi] = True
+    return BinaryImage(arr)
+
+
+class TestDilateErode:
+    def test_dilate_grows(self):
+        mask = block_mask()
+        grown = dilate(mask, 1)
+        assert grown.foreground_count() > mask.foreground_count()
+        assert grown.pixels[3, 4]  # one beyond the original block
+
+    def test_erode_shrinks(self):
+        mask = block_mask()
+        shrunk = erode(mask, 1)
+        assert shrunk.foreground_count() < mask.foreground_count()
+        assert shrunk.foreground_count() == 1  # 3x3 block erodes to centre
+
+    def test_radius_zero_identity(self):
+        mask = block_mask()
+        assert dilate(mask, 0) is mask
+        assert erode(mask, 0) is mask
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            dilate(block_mask(), -1)
+        with pytest.raises(ValueError):
+            erode(block_mask(), -2)
+
+    def test_erode_dilate_duality(self):
+        # erosion of the mask equals complement of dilation of complement
+        # (for symmetric structuring elements, away from border effects).
+        arr = np.zeros((15, 15), dtype=bool)
+        arr[5:10, 5:10] = True
+        mask = BinaryImage(arr)
+        lhs = erode(mask, 1).pixels[2:-2, 2:-2]
+        rhs = (~dilate(mask.complement(), 1).pixels)[2:-2, 2:-2]
+        assert np.array_equal(lhs, rhs)
+
+    def test_dilate_then_erode_recovers_solid_block(self):
+        mask = block_mask()
+        assert np.array_equal(erode(dilate(mask, 1), 1).pixels, mask.pixels)
+
+
+class TestOpeningClosing:
+    def test_opening_removes_specks(self):
+        arr = np.zeros((11, 11), dtype=bool)
+        arr[4:8, 4:8] = True
+        arr[0, 0] = True  # lone speck
+        cleaned = opening(BinaryImage(arr), 1)
+        assert not cleaned.pixels[0, 0]
+        assert cleaned.pixels[5, 5]
+
+    def test_closing_fills_gap(self):
+        # Two blocks with a 1-px gap between them: closing bridges it.
+        arr = np.zeros((9, 11), dtype=bool)
+        arr[3:6, 1:5] = True
+        arr[3:6, 6:10] = True
+        closed = closing(BinaryImage(arr), 1)
+        assert closed.pixels[4, 5]
+
+    def test_closing_preserves_solid_shape(self):
+        mask = block_mask()
+        assert np.array_equal(closing(mask, 1).pixels, mask.pixels)
+
+    def test_opening_is_idempotent(self):
+        arr = np.zeros((13, 13), dtype=bool)
+        arr[3:9, 3:9] = True
+        arr[1, 1] = True
+        once = opening(BinaryImage(arr), 1)
+        twice = opening(once, 1)
+        assert np.array_equal(once.pixels, twice.pixels)

@@ -1,0 +1,98 @@
+"""Tests for rasterisation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.vision import merge_masks, raster_capsule, raster_disc, raster_polygon
+
+
+class TestDisc:
+    def test_area_close_to_analytic(self):
+        disc = raster_disc(64, 64, (32, 32), 15)
+        assert disc.foreground_count() == pytest.approx(np.pi * 15**2, rel=0.05)
+
+    def test_centre_set_boundary_not(self):
+        disc = raster_disc(32, 32, (16, 16), 5)
+        assert disc.pixels[16, 16]
+        assert not disc.pixels[16, 25]
+
+    def test_clipping_at_border(self):
+        disc = raster_disc(16, 16, (0, 0), 5)
+        assert disc.pixels[0, 0]
+        assert disc.foreground_count() < np.pi * 25
+
+    def test_completely_outside(self):
+        disc = raster_disc(16, 16, (100, 100), 3)
+        assert disc.is_empty()
+
+    def test_zero_radius_single_pixel(self):
+        disc = raster_disc(8, 8, (4, 4), 0)
+        assert disc.foreground_count() == 1
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            raster_disc(8, 8, (4, 4), -1)
+
+
+class TestCapsule:
+    def test_degenerate_capsule_is_disc(self):
+        capsule = raster_capsule(32, 32, (16, 16), (16, 16), 5)
+        disc = raster_disc(32, 32, (16, 16), 5)
+        assert capsule.iou(disc) == 1.0
+
+    def test_horizontal_capsule_dimensions(self):
+        capsule = raster_capsule(32, 64, (16, 10), (16, 50), 4)
+        bbox = capsule.bounding_box()
+        assert bbox is not None
+        top, left, height, width = bbox
+        assert height == pytest.approx(9, abs=1)  # 2*radius + 1
+        assert width == pytest.approx(49, abs=2)  # length + 2*radius
+
+    def test_diagonal_capsule_connected(self):
+        from repro.vision import label_components
+
+        capsule = raster_capsule(48, 48, (5, 5), (40, 40), 3)
+        assert len(label_components(capsule)) == 1
+
+    def test_area_close_to_analytic(self):
+        length, radius = 30.0, 5.0
+        capsule = raster_capsule(64, 64, (32, 15), (32, 45), radius)
+        expected = 2 * radius * length + np.pi * radius**2
+        assert capsule.foreground_count() == pytest.approx(expected, rel=0.1)
+
+
+class TestPolygon:
+    def test_filled_square(self):
+        verts = np.array([[4, 4], [4, 12], [12, 12], [12, 4]], dtype=float)
+        mask = raster_polygon(20, 20, verts)
+        assert mask.pixels[8, 8]
+        assert not mask.pixels[2, 2]
+        assert mask.foreground_count() == pytest.approx(64, rel=0.15)
+
+    def test_triangle(self):
+        verts = np.array([[2, 2], [2, 18], [18, 10]], dtype=float)
+        mask = raster_polygon(20, 20, verts)
+        assert mask.pixels[5, 10]
+        assert not mask.pixels[17, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            raster_polygon(10, 10, np.zeros((2, 2)))
+
+
+class TestMergeMasks:
+    def test_union_semantics(self):
+        a = raster_disc(16, 16, (8, 4), 3)
+        b = raster_disc(16, 16, (8, 12), 3)
+        merged = merge_masks([a, b])
+        assert merged.foreground_count() == a.foreground_count() + b.foreground_count()
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            merge_masks([])
+
+    def test_shape_mismatch_raises(self):
+        from repro.vision import BinaryImage
+
+        with pytest.raises(ValueError):
+            merge_masks([BinaryImage.zeros(4, 4), BinaryImage.zeros(5, 5)])

@@ -1,0 +1,103 @@
+"""Tests for shape signatures: the contour → time-series conversion."""
+
+import numpy as np
+import pytest
+
+from repro.sax import best_shift_euclidean
+from repro.vision import (
+    SignatureKind,
+    centroid_distance_signature,
+    compute_signature,
+    cumulative_angle_signature,
+    raster_capsule,
+    raster_disc,
+    trace_outer_contour,
+)
+
+
+def contour_of(mask):
+    contour = trace_outer_contour(mask)
+    assert contour is not None
+    return contour
+
+
+class TestCentroidDistance:
+    def test_circle_gives_flat_signature(self):
+        contour = contour_of(raster_disc(64, 64, (32, 32), 20))
+        sig = centroid_distance_signature(contour, 128)
+        # A circle's centroid distance is constant up to pixelisation.
+        assert sig.std() / sig.mean() < 0.05
+
+    def test_elongated_shape_modulates(self):
+        contour = contour_of(raster_capsule(64, 64, (32, 10), (32, 54), 6))
+        sig = centroid_distance_signature(contour, 128)
+        assert sig.max() / sig.min() > 2.0
+
+    def test_fixed_length(self):
+        contour = contour_of(raster_disc(32, 32, (16, 16), 10))
+        assert len(centroid_distance_signature(contour, 77)) == 77
+
+    def test_scale_changes_amplitude_not_shape(self):
+        # The same (non-degenerate) shape at 2x scale: amplitude doubles
+        # but the z-normalised signature is preserved.
+        small = contour_of(raster_capsule(96, 96, (48, 28), (48, 68), 6))
+        large = contour_of(raster_capsule(192, 192, (96, 56), (96, 136), 12))
+        sig_small = centroid_distance_signature(small, 128)
+        sig_large = centroid_distance_signature(large, 128)
+        assert sig_large.mean() > 1.8 * sig_small.mean()
+        match = best_shift_euclidean(sig_small, sig_large)
+        assert match.distance / np.sqrt(128) < 0.25
+
+    def test_rotation_becomes_circular_shift(self):
+        # The same capsule rotated 90 degrees: signatures match under the
+        # best circular shift far better than at fixed phase.
+        horizontal = contour_of(raster_capsule(64, 64, (32, 12), (32, 52), 6))
+        vertical = contour_of(raster_capsule(64, 64, (12, 32), (52, 32), 6))
+        sig_h = centroid_distance_signature(horizontal, 128)
+        sig_v = centroid_distance_signature(vertical, 128)
+        shifted = best_shift_euclidean(sig_h, sig_v).distance
+        from repro.sax import euclidean_distance, z_normalize
+
+        fixed = euclidean_distance(z_normalize(sig_h), z_normalize(sig_v))
+        assert shifted < fixed
+        assert shifted / np.sqrt(128) < 0.3
+
+    def test_minimum_length(self):
+        contour = contour_of(raster_disc(32, 32, (16, 16), 10))
+        with pytest.raises(ValueError):
+            centroid_distance_signature(contour, 2)
+
+
+class TestCumulativeAngle:
+    def test_circle_residual_is_small(self):
+        contour = contour_of(raster_disc(96, 96, (48, 48), 30))
+        sig = cumulative_angle_signature(contour, 128)
+        # For a circle the unwound angle is the pure ramp; residual small
+        # relative to the removed 2*pi ramp.
+        assert np.abs(sig - sig.mean()).max() < 1.5
+
+    def test_square_residual_larger_than_circle(self):
+        square = np.zeros((64, 64), dtype=bool)
+        square[16:48, 16:48] = True
+        from repro.vision import BinaryImage
+
+        circle_sig = cumulative_angle_signature(
+            contour_of(raster_disc(64, 64, (32, 32), 16)), 128
+        )
+        square_sig = cumulative_angle_signature(
+            contour_of(BinaryImage(square)), 128
+        )
+        assert square_sig.std() > circle_sig.std() * 0.8  # squares stair-step
+
+    def test_fixed_length(self):
+        contour = contour_of(raster_disc(32, 32, (16, 16), 10))
+        assert len(cumulative_angle_signature(contour, 50)) == 50
+
+
+class TestComputeSignature:
+    def test_dispatch(self):
+        contour = contour_of(raster_disc(32, 32, (16, 16), 10))
+        cd = compute_signature(contour, SignatureKind.CENTROID_DISTANCE, 64)
+        ca = compute_signature(contour, SignatureKind.CUMULATIVE_ANGLE, 64)
+        assert len(cd) == len(ca) == 64
+        assert not np.allclose(cd, ca)

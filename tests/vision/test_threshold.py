@@ -1,0 +1,60 @@
+"""Tests for binarisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vision import Image, otsu_threshold, threshold_fixed, threshold_otsu
+
+
+class TestFixedThreshold:
+    def test_bright_foreground(self):
+        img = Image(np.array([[0.2, 0.8], [0.5, 0.5]]))
+        mask = threshold_fixed(img, 0.5)
+        assert mask.pixels.tolist() == [[False, True], [True, True]]
+
+    def test_dark_foreground(self):
+        img = Image(np.array([[0.2, 0.8]]))
+        mask = threshold_fixed(img, 0.5, foreground_dark=True)
+        assert mask.pixels.tolist() == [[True, False]]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            threshold_fixed(Image.zeros(2, 2), 1.5)
+
+
+class TestOtsu:
+    def test_separates_bimodal(self):
+        # Two well-separated clusters at 0.2 and 0.8.
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [rng.normal(0.2, 0.02, 500), rng.normal(0.8, 0.02, 500)]
+        ).clip(0, 1)
+        img = Image(values.reshape(25, 40))
+        threshold = otsu_threshold(img)
+        assert 0.3 < threshold < 0.7
+
+    def test_constant_image_returns_midpoint(self):
+        assert otsu_threshold(Image.full(4, 4, 0.5)) == 0.5
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            otsu_threshold(Image.zeros(2, 2), bins=1)
+
+    def test_threshold_otsu_dark_signaller(self):
+        # The paper's scene: dark figure on bright background.
+        base = np.full((20, 20), 0.85)
+        base[5:15, 8:12] = 0.15
+        mask = threshold_otsu(Image(base), foreground_dark=True)
+        assert mask.pixels[10, 10]
+        assert not mask.pixels[0, 0]
+        assert mask.foreground_count() == 10 * 4
+
+    @given(split=st.floats(min_value=0.2, max_value=0.8))
+    def test_otsu_lands_between_clusters(self, split):
+        lo, hi = split - 0.15, split + 0.15
+        base = np.full((10, 10), lo)
+        base[:5, :] = hi
+        threshold = otsu_threshold(Image(base.clip(0, 1)))
+        assert lo < threshold <= hi + 1e-9
