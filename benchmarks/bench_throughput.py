@@ -1,0 +1,155 @@
+"""T-THRU — batched recognition throughput.
+
+Measures frames/sec of the batched engine against the scalar loop on a
+64-frame batch, at two levels:
+
+* **matcher**: ``SignDatabase.classify_batch`` (one broadcast FFT pass
+  over the enrolment-time reference cache) vs a loop of ``classify``
+  (per-pair FFTs with a MINDIST pre-filter).  This is the stage this
+  engine vectorises and where the ≥ 5× throughput gate applies.
+* **end-to-end**: ``SaxSignRecognizer.recognize_batch`` vs a loop of
+  ``recognise``.  Pre-processing (contour tracing) is inherently
+  per-frame, so the end-to-end gain is bounded by Amdahl's law; both
+  numbers are reported so future PRs can track the trajectory.
+
+Run as a script to write the ``BENCH_throughput.json`` artifact::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import COMMUNICATIVE_SIGNS, RenderSettings, pose_for_sign, render_frame
+from repro.recognition.pipeline import observation_elevation_deg
+
+BATCH_SIZE = 64
+ELEVATION = observation_elevation_deg(5.0, 3.0)
+MATCHER_SPEEDUP_GATE = 5.0
+
+
+def make_frames(count: int = BATCH_SIZE) -> list:
+    """A varied batch: every sign at a spread of azimuths, cycled."""
+    distinct = []
+    for sign in COMMUNICATIVE_SIGNS:
+        for azimuth in (0.0, 15.0, 30.0, 50.0, 65.0):
+            camera = observation_camera(5.0, 3.0, azimuth)
+            distinct.append(
+                render_frame(pose_for_sign(sign), camera, RenderSettings(noise_sigma=0.02))
+            )
+    return [distinct[i % len(distinct)] for i in range(count)]
+
+
+def preprocessed_series(recognizer, frames) -> list:
+    from repro.recognition.preprocess import preprocess_frame
+
+    series = []
+    for frame in frames:
+        result = preprocess_frame(
+            frame, recognizer.preprocess_settings, elevation_deg=ELEVATION
+        )
+        assert result.ok
+        series.append(result.series)
+    return series
+
+
+def fps(seconds: float, count: int) -> float:
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def timed(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time (amortises warm-up and scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(recognizer) -> dict:
+    frames = make_frames()
+    series = preprocessed_series(recognizer, frames)
+    database = recognizer.database
+    database.classify_batch(series[:1])  # warm the reference cache
+
+    scalar_match_s = timed(lambda: [database.classify(s) for s in series])
+    batch_match_s = timed(lambda: database.classify_batch(series))
+    scalar_e2e_s = timed(
+        lambda: [recognizer.recognise(f, elevation_deg=ELEVATION) for f in frames]
+    )
+    batch_e2e_s = timed(lambda: recognizer.recognize_batch(frames, elevation_deg=ELEVATION))
+
+    # Parity while we are here: the batch must agree with the scalar loop.
+    batched = recognizer.recognize_batch(frames, elevation_deg=ELEVATION)
+    scalar = [recognizer.recognise(f, elevation_deg=ELEVATION) for f in frames]
+    assert [r.label for r in batched] == [r.label for r in scalar]
+
+    return {
+        "batch_size": BATCH_SIZE,
+        "enrolled_views": len(database),
+        "matcher": {
+            "scalar_fps": fps(scalar_match_s, BATCH_SIZE),
+            "batch_fps": fps(batch_match_s, BATCH_SIZE),
+            "speedup": scalar_match_s / batch_match_s,
+        },
+        "end_to_end": {
+            "scalar_fps": fps(scalar_e2e_s, BATCH_SIZE),
+            "batch_fps": fps(batch_e2e_s, BATCH_SIZE),
+            "speedup": scalar_e2e_s / batch_e2e_s,
+        },
+    }
+
+
+def test_matcher_throughput(benchmark, recognizer):
+    """classify_batch clears >= 5x frames/sec over the scalar classify loop."""
+    frames = make_frames()
+    series = preprocessed_series(recognizer, frames)
+    recognizer.database.classify_batch(series[:1])
+    scalar_s = timed(lambda: [recognizer.database.classify(s) for s in series])
+    batch_results = benchmark(recognizer.database.classify_batch, series)
+    batch_s = timed(lambda: recognizer.database.classify_batch(series))
+    assert batch_results == [recognizer.database.classify(s) for s in series]
+    speedup = scalar_s / batch_s
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 1)
+    benchmark.extra_info["scalar_fps"] = round(fps(scalar_s, BATCH_SIZE))
+    assert speedup >= MATCHER_SPEEDUP_GATE
+
+
+def test_end_to_end_throughput(benchmark, recognizer):
+    """recognize_batch is never slower than the scalar recognise loop."""
+    frames = make_frames()
+    scalar_s = timed(
+        lambda: [recognizer.recognise(f, elevation_deg=ELEVATION) for f in frames]
+    )
+    benchmark(recognizer.recognize_batch, frames, elevation_deg=ELEVATION)
+    batch_s = timed(lambda: recognizer.recognize_batch(frames, elevation_deg=ELEVATION))
+    speedup = scalar_s / batch_s
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
+    assert speedup >= 1.0
+
+
+if __name__ == "__main__":
+    from repro.recognition import SaxSignRecognizer
+
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    stats = measure(rec)
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+    artifact.write_text(json.dumps(stats, indent=2) + "\n")
+    m, e = stats["matcher"], stats["end_to_end"]
+    print(f"T-THRU ({BATCH_SIZE}-frame batch, {stats['enrolled_views']} views)")
+    print(
+        f"  matcher:    {m['scalar_fps']:8.0f} fps scalar -> {m['batch_fps']:8.0f} fps "
+        f"batched  ({m['speedup']:.1f}x, gate >= {MATCHER_SPEEDUP_GATE:.0f}x)"
+    )
+    print(
+        f"  end-to-end: {e['scalar_fps']:8.0f} fps scalar -> {e['batch_fps']:8.0f} fps "
+        f"batched  ({e['speedup']:.2f}x)"
+    )
+    print(f"  wrote {artifact.name}")
+    assert m["speedup"] >= MATCHER_SPEEDUP_GATE, "matcher throughput gate failed"

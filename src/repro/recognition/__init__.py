@@ -27,8 +27,10 @@ from repro.recognition.evaluation import (
 from repro.recognition.pipeline import (
     CANONICAL_ALTITUDE_M,
     CANONICAL_DISTANCE_M,
+    ENROLMENT_AZIMUTHS_DEG,
     Recognition,
     SaxSignRecognizer,
+    observation_elevation_deg,
 )
 from repro.recognition.preprocess import (
     PreprocessResult,
@@ -55,8 +57,10 @@ __all__ = [
     "sweep_azimuth",
     "CANONICAL_ALTITUDE_M",
     "CANONICAL_DISTANCE_M",
+    "ENROLMENT_AZIMUTHS_DEG",
     "Recognition",
     "SaxSignRecognizer",
+    "observation_elevation_deg",
     "PreprocessResult",
     "PreprocessSettings",
     "preprocess_frame",

@@ -29,14 +29,22 @@ class StageTiming:
 
 @dataclass
 class FrameBudget:
-    """Collects stage timings for one processed frame."""
+    """Collects stage timings for one processed frame (or frame batch).
+
+    ``frame_count`` supports batched pipelines: stage timings then cover
+    the whole batch and the budget check applies to the *amortised*
+    per-frame cost, which is the quantity a frame-stream consumer pays.
+    """
 
     budget_s: float = 1.0 / 30.0  # the paper's 30 fps target
     timings: list[StageTiming] = field(default_factory=list)
+    frame_count: int = 1
 
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
             raise ValueError("budget must be positive")
+        if self.frame_count < 1:
+            raise ValueError("frame count must be >= 1")
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -48,12 +56,16 @@ class FrameBudget:
             self.timings.append(StageTiming(name, time.perf_counter() - start))
 
     def total_s(self) -> float:
-        """Total measured time across stages."""
+        """Total measured time across stages (whole batch)."""
         return sum(t.duration_s for t in self.timings)
 
+    def per_frame_s(self) -> float:
+        """Amortised time per frame."""
+        return self.total_s() / self.frame_count
+
     def within_budget(self) -> bool:
-        """``True`` when the frame fit the budget."""
-        return self.total_s() <= self.budget_s
+        """``True`` when the (per-frame amortised) cost fit the budget."""
+        return self.per_frame_s() <= self.budget_s
 
     def report(self) -> "BudgetReport":
         """Freeze the current timings into a report."""
@@ -61,21 +73,28 @@ class FrameBudget:
             budget_s=self.budget_s,
             stages=tuple(self.timings),
             total_s=self.total_s(),
+            frame_count=self.frame_count,
         )
 
 
 @dataclass(frozen=True)
 class BudgetReport:
-    """Immutable stage-timing summary for one frame."""
+    """Immutable stage-timing summary for one frame (or frame batch)."""
 
     budget_s: float
     stages: tuple[StageTiming, ...]
     total_s: float
+    frame_count: int = 1
+
+    @property
+    def per_frame_s(self) -> float:
+        """Amortised time per frame."""
+        return self.total_s / self.frame_count
 
     @property
     def within_budget(self) -> bool:
-        """``True`` when the frame fit the budget."""
-        return self.total_s <= self.budget_s
+        """``True`` when the (per-frame amortised) cost fit the budget."""
+        return self.per_frame_s <= self.budget_s
 
     def stage_fraction(self, stage: str) -> float:
         """Fraction of total time spent in *stage* (0 when unmeasured)."""
@@ -88,4 +107,10 @@ class BudgetReport:
         """One-line human-readable split."""
         parts = ", ".join(f"{t.stage}={t.duration_s * 1e3:.1f}ms" for t in self.stages)
         verdict = "OK" if self.within_budget else "OVER"
+        if self.frame_count > 1:
+            return (
+                f"total={self.total_s * 1e3:.1f}ms over {self.frame_count} frames "
+                f"({self.per_frame_s * 1e3:.2f}ms/frame) "
+                f"[{verdict} @ {self.budget_s * 1e3:.1f}ms]: {parts}"
+            )
         return f"total={self.total_s * 1e3:.1f}ms [{verdict} @ {self.budget_s * 1e3:.1f}ms]: {parts}"

@@ -19,7 +19,9 @@ Both substitutions are documented in DESIGN.md §2.
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -210,21 +212,90 @@ class SaxSignRecognizer:
 
         with budget.stage("sax_match"):
             match = self.database.classify(pre.series)
+        return self._recognition_from_match(match, budget.report())
 
+    @staticmethod
+    def _recognition_from_match(match, report: BudgetReport) -> Recognition:
+        """Map a database MatchResult onto a Recognition."""
         if match.label is None:
             return Recognition(
                 label=None,
                 distance=match.distance,
                 margin=match.margin,
-                budget=budget.report(),
+                budget=report,
                 reject_reason="no database entry within threshold",
             )
         return Recognition(
             label=match.label,
             distance=match.distance,
             margin=match.margin,
-            budget=budget.report(),
+            budget=report,
         )
+
+    def recognize_batch(
+        self,
+        frames: Sequence[Image],
+        elevation_deg: float | Sequence[float] | None = None,
+    ) -> list[Recognition]:
+        """Recognise a batch of frames in one amortised pass.
+
+        Pre-processing runs per frame (contour tracing is inherently
+        per-image), but SAX matching is a single batched database call:
+        every frame that yielded a usable series is scored against the
+        enrolment-time FFT cache in one vectorised pass, and per-frame
+        results are bit-identical to calling :meth:`recognise` on each
+        frame.  All returned :class:`Recognition`\\ s share one
+        batch-level :class:`BudgetReport` whose budget check applies to
+        the amortised per-frame cost.
+
+        Parameters
+        ----------
+        elevation_deg:
+            A single elevation applied to every frame, or one elevation
+            per frame.
+        """
+        frames = list(frames)
+        if not self.database.labels:
+            raise RuntimeError("no signs enrolled; call enroll_canonical_views() first")
+        # numbers.Real also covers numpy scalar elevations (np.float32 etc.).
+        if elevation_deg is None or isinstance(elevation_deg, numbers.Real):
+            elevations: list[float | None] = [elevation_deg] * len(frames)
+        else:
+            elevations = list(elevation_deg)
+            if len(elevations) != len(frames):
+                raise ValueError(
+                    f"{len(elevations)} elevations for {len(frames)} frames"
+                )
+        budget = FrameBudget(
+            budget_s=self.frame_budget_s, frame_count=max(1, len(frames))
+        )
+        with budget.stage("preprocess"):
+            pres = [
+                preprocess_frame(frame, self.preprocess_settings, elevation_deg=elev)
+                for frame, elev in zip(frames, elevations)
+            ]
+        usable = [pre.series for pre in pres if pre.ok]
+        with budget.stage("sax_match"):
+            matches = iter(self.database.classify_batch(usable) if usable else [])
+        report = budget.report()
+        results: list[Recognition] = []
+        for pre in pres:
+            if not pre.ok:
+                results.append(
+                    Recognition(
+                        label=None,
+                        distance=float("inf"),
+                        margin=0.0,
+                        budget=report,
+                        reject_reason=pre.reject_reason,
+                    )
+                )
+            else:
+                results.append(self._recognition_from_match(next(matches), report))
+        return results
+
+    # British-spelling alias, matching :meth:`recognise`.
+    recognise_batch = recognize_batch
 
     def recognise_observation(
         self,

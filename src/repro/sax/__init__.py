@@ -17,8 +17,11 @@ from repro.sax.distance import (
 from repro.sax.encoder import SaxEncoder, SaxParameters, SaxWord
 from repro.sax.matching import (
     ShiftMatch,
+    ShiftMatchBatch,
     best_shift_euclidean,
+    best_shift_euclidean_batch,
     best_shift_mindist,
+    best_shift_mindist_batch,
     rotation_invariant_distance,
 )
 from repro.sax.normalize import is_constant, z_normalize
@@ -45,8 +48,11 @@ __all__ = [
     "SaxParameters",
     "SaxWord",
     "ShiftMatch",
+    "ShiftMatchBatch",
     "best_shift_euclidean",
+    "best_shift_euclidean_batch",
     "best_shift_mindist",
+    "best_shift_mindist_batch",
     "rotation_invariant_distance",
     "is_constant",
     "z_normalize",

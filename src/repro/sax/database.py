@@ -14,13 +14,51 @@ channel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.sax.encoder import SaxEncoder, SaxParameters, SaxWord
-from repro.sax.matching import best_shift_euclidean, best_shift_mindist
+from repro.sax.matching import (
+    _best_shift_euclidean_block,
+    _best_shift_mindist_block,
+    best_shift_euclidean,
+    best_shift_mindist,
+)
+from repro.sax.normalize import z_normalize
 
 __all__ = ["SignEntry", "MatchResult", "SignDatabase"]
+
+# Queries scored per vectorised block in classify_batch; bounds the
+# (chunk, V, n) correlation tensor to a few megabytes.
+_BATCH_CHUNK = 128
+# Sub-chunk for the MINDIST bound stage, whose gather is (chunk, V, w, w).
+_BOUND_CHUNK = 16
+
+
+@dataclass(frozen=True)
+class _ViewCache:
+    """Precomputed reference-side transforms, shared by all queries.
+
+    Built lazily from the enrolled views (and invalidated by ``add`` /
+    ``remove``): the z-normalised ``(V, n)`` view stack, the conjugated
+    rFFT of every row, per-row squared norms, and the ``(V, w)`` SAX
+    word index matrix (consumed by the batched MINDIST pre-filter).
+    Everything a query-side match needs from the references is paid
+    once per enrolment, not once per query.
+    """
+
+    length: int
+    row_labels: tuple[str, ...]
+    label_slices: tuple[tuple[str, int, int], ...]
+    series: np.ndarray
+    rfft_conj: np.ndarray
+    sq_norms: np.ndarray
+    word_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("series", "rfft_conj", "sq_norms", "word_indices"):
+            getattr(self, name).setflags(write=False)
 
 
 @dataclass(frozen=True)
@@ -98,6 +136,8 @@ class SignDatabase:
         self.acceptance_threshold = acceptance_threshold
         self.margin_threshold = margin_threshold
         self._entries: dict[str, list[SignEntry]] = {}
+        self._cache: _ViewCache | None = None
+        self._cache_stale = True
 
     def __len__(self) -> int:
         return sum(len(views) for views in self._entries.values())
@@ -127,7 +167,29 @@ class SignDatabase:
         views = self._entries.setdefault(label, [])
         views[:] = [v for v in views if v.view != view]
         views.append(entry)
+        self._cache_stale = True
         return entry
+
+    def remove(self, label: str, view: str | None = None) -> None:
+        """Remove one view of *label*, or the whole label when *view* is None.
+
+        Raises
+        ------
+        KeyError
+            If the label — or the named view of it — is not stored.
+        """
+        views = self._entries[label]
+        if view is None:
+            del self._entries[label]
+        else:
+            kept = [v for v in views if v.view != view]
+            if len(kept) == len(views):
+                raise KeyError(f"label {label!r} has no view {view!r}")
+            if kept:
+                views[:] = kept
+            else:
+                del self._entries[label]
+        self._cache_stale = True
 
     def entries(self, label: str) -> list[SignEntry]:
         """Return all views stored for *label*.
@@ -150,12 +212,18 @@ class SignDatabase:
         return self._entries[label][0]
 
     def classify(self, series: np.ndarray) -> MatchResult:
-        """Classify a query series against the database.
+        """Classify a query series against the database (scalar path).
 
         The per-sample-normalised distance (Euclidean over z-normalised
         series divided by ``sqrt(n)``) must beat the acceptance threshold
         and clear the runner-up label by the margin threshold; otherwise
         ``label=None`` (rejected).
+
+        This is the scalar reference implementation — one FFT match per
+        (query, view) pair with a MINDIST pre-filter.  The batched
+        engine (:meth:`classify_batch`) produces bit-identical results
+        from the precomputed view cache; parity between the two is
+        enforced by ``tests/sax/test_database_batch.py``.
         """
         if not self._entries:
             raise RuntimeError("sign database is empty")
@@ -183,6 +251,14 @@ class SignDatabase:
                 best_for_label = min(best_for_label, exact)
             scored.append((best_for_label, label))
 
+        return self._decide(scored)
+
+    def _decide(self, scored: list[tuple[float, str]]) -> MatchResult:
+        """Turn per-label distances into an accept/reject decision.
+
+        Shared by the scalar and batched paths so the thresholding logic
+        cannot drift between them.
+        """
         scored.sort(key=lambda pair: pair[0])
         best_distance, best_label = scored[0]
         runner_distance, runner_label = scored[1] if len(scored) > 1 else (float("inf"), None)
@@ -200,6 +276,188 @@ class SignDatabase:
             runner_up_label=runner_label,
             runner_up_distance=runner_distance,
         )
+
+    # -- batched engine -----------------------------------------------------------
+
+    def _view_cache(self) -> _ViewCache | None:
+        """Return the precomputed view cache, rebuilding it when stale.
+
+        Returns ``None`` when the enrolled views have heterogeneous
+        lengths (they cannot be stacked; no query can match them all
+        anyway, so the batched path defers to the scalar one).
+        """
+        if not self._cache_stale:
+            return self._cache
+        rows: list[SignEntry] = [e for views in self._entries.values() for e in views]
+        lengths = {len(e.series) for e in rows}
+        if len(lengths) != 1:
+            self._cache = None
+        else:
+            series = np.stack([z_normalize(e.series) for e in rows])
+            slices: list[tuple[str, int, int]] = []
+            start = 0
+            for label, views in self._entries.items():
+                slices.append((label, start, start + len(views)))
+                start += len(views)
+            self._cache = _ViewCache(
+                length=lengths.pop(),
+                row_labels=tuple(e.label for e in rows),
+                label_slices=tuple(slices),
+                series=series,
+                rfft_conj=np.conj(np.fft.rfft(series, axis=1)),
+                sq_norms=(series * series).sum(axis=1),
+                word_indices=np.stack([e.word.indices() for e in rows]),
+            )
+        self._cache_stale = False
+        return self._cache
+
+    def reference_matrix(self) -> np.ndarray:
+        """Return the z-normalised ``(V, n)`` stack of all enrolled views.
+
+        Read-only; rebuilt automatically after ``add``/``remove``.
+
+        Raises
+        ------
+        RuntimeError
+            If the database is empty or views have mixed lengths.
+        """
+        if not self._entries:
+            raise RuntimeError("sign database is empty")
+        cache = self._view_cache()
+        if cache is None:
+            raise RuntimeError("enrolled views have heterogeneous lengths")
+        return cache.series
+
+    def classify_batch(
+        self, queries: Sequence[np.ndarray] | np.ndarray
+    ) -> list[MatchResult]:
+        """Classify many query series in one vectorised pass.
+
+        Accepts a ``(B, n)`` array or a sequence of 1-D series.  All
+        circular-shift distances of every query against every enrolled
+        view are computed in a single broadcast FFT pass over the
+        precomputed reference cache, and the scalar path's MINDIST
+        prune decisions are replayed exactly from the cached word-index
+        matrix (best-shift MINDIST at word granularity does *not*
+        lower-bound the fine-grained Euclidean distance, so the prune
+        can change which views a label scores with — it must be
+        replicated, not skipped).  Results are therefore bit-identical
+        to calling :meth:`classify` per query.
+        """
+        if not self._entries:
+            raise RuntimeError("sign database is empty")
+        if isinstance(queries, np.ndarray) and queries.ndim == 1:
+            raise ValueError("expected a batch of series, got a single 1-D series")
+        batch = [np.asarray(q, dtype=np.float64) for q in queries]
+        for query in batch:
+            if query.ndim != 1:
+                raise ValueError("expected a 1-D series per query")
+        if not batch:
+            return []
+
+        cache = self._view_cache()
+        if cache is None:
+            # Heterogeneous reference lengths: defer to the scalar path,
+            # which raises the appropriate per-entry length error.
+            return [self.classify(q) for q in batch]
+
+        n = cache.length
+        word_length = self.encoder.parameters.word_length
+        for query in batch:
+            if len(query) < word_length:
+                # Same error the scalar path's encoder raises.
+                raise ValueError(
+                    f"series of length {len(query)} shorter than word length "
+                    f"{word_length}"
+                )
+            if len(query) != n:
+                raise ValueError(
+                    f"query length {len(query)} != reference length {n} "
+                    f"for {cache.row_labels[0]!r}"
+                )
+
+        normalized = np.stack([z_normalize(q) for q in batch])
+        alphabet_size = self.encoder.parameters.alphabet_size
+        sqrt_n = np.sqrt(n)
+        prune_gate = self.acceptance_threshold * 2.0
+        results: list[MatchResult] = []
+        shift_step, remainder = divmod(n, word_length)
+        # Queries are SAX-encoded lazily: the words feed only the MINDIST
+        # bound stage, which the aligned-shift cap skips for most queries.
+        encoded: dict[int, np.ndarray] = {}
+
+        def word_indices_for(row_indices: np.ndarray) -> np.ndarray:
+            return np.stack(
+                [
+                    encoded.setdefault(
+                        int(i), self.encoder.encode(batch[int(i)]).indices()
+                    )
+                    for i in row_indices
+                ]
+            )
+        for start in range(0, len(batch), _BATCH_CHUNK):
+            chunk = normalized[start : start + _BATCH_CHUNK]
+            spectra = np.fft.rfft(chunk, axis=1)
+            q_sq = (chunk * chunk).sum(axis=1)
+            totals = q_sq[:, None] + cache.sq_norms[None, :]
+            distances, _, sq = _best_shift_euclidean_block(
+                spectra, cache.rfft_conj, totals, n
+            )
+            view_distances = distances / sqrt_n
+
+            # The scalar prune can only skip a view whose MINDIST bound
+            # exceeds the gate.  MINDIST lower-bounds the Euclidean
+            # distance at every *word-aligned* shift (whole-segment
+            # rotations commute with PAA when w divides n), so the best
+            # word-aligned distance — read straight off the already-
+            # computed shift surface — caps the bound.  Rows capped
+            # below the gate provably cannot prune; true bounds are
+            # computed only for the rest (with a 1e-6 safety margin for
+            # floating-point slack in the lower-bound property).
+            if remainder == 0:
+                aligned = np.sqrt(sq[:, :, ::shift_step].min(axis=2)) / sqrt_n
+                needs_bounds = (aligned > prune_gate - 1e-6).any(axis=1)
+            else:
+                needs_bounds = np.ones(len(chunk), dtype=bool)
+            view_bounds: dict[int, np.ndarray] = {}
+            selected = np.flatnonzero(needs_bounds)
+            for sub in range(0, len(selected), _BOUND_CHUNK):
+                rows = selected[sub : sub + _BOUND_CHUNK]
+                block, _ = _best_shift_mindist_block(
+                    word_indices_for(start + rows),
+                    cache.word_indices,
+                    alphabet_size,
+                    n,
+                )
+                for local, bounds_row in zip(rows, block):
+                    view_bounds[int(local)] = bounds_row / sqrt_n
+
+            for local, row in enumerate(view_distances):
+                bounds = view_bounds.get(local)
+                scored: list[tuple[float, str]] = []
+                if bounds is None or not (bounds > prune_gate).any():
+                    # No bound clears the prune gate, so the scalar path
+                    # would skip nothing: the label score is the plain
+                    # minimum over its views.
+                    scored = [
+                        (row[lo:hi].min(), label)
+                        for label, lo, hi in cache.label_slices
+                    ]
+                else:
+                    for label, lo, hi in cache.label_slices:
+                        best_for_label = float("inf")
+                        for view in range(lo, hi):
+                            # Same skip rule as the scalar path, fed with
+                            # bit-identical bounds and exact distances.
+                            if (
+                                bounds[view] > prune_gate
+                                and bounds[view] > best_for_label
+                            ):
+                                continue
+                            best_for_label = min(best_for_label, row[view])
+                        scored.append((best_for_label, label))
+                results.append(self._decide(scored))
+        return results
 
     def word_table(self) -> dict[str, str]:
         """Return ``label -> canonical-view SAX word`` (uniqueness checks)."""

@@ -10,6 +10,7 @@ hypothesis test in ``tests/sax/test_distance.py``.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -19,12 +20,17 @@ from repro.sax.encoder import SaxParameters, SaxWord
 __all__ = ["symbol_distance_table", "mindist", "euclidean_distance", "paa_distance"]
 
 
+@lru_cache(maxsize=None)
 def symbol_distance_table(alphabet_size: int) -> np.ndarray:
     """Return the ``dist()`` lookup table between symbol indices.
 
     ``table[i, j]`` is zero for adjacent or equal symbols, and otherwise
     the gap between the closest breakpoints of the two symbols' cells —
     the construction from Lin et al. that makes MINDIST a lower bound.
+
+    The table is cached per alphabet size (the matcher consults it once
+    per reference view per query) and returned read-only so cached
+    instances cannot be corrupted in place.
     """
     breakpoints = gaussian_breakpoints(alphabet_size)
     table = np.zeros((alphabet_size, alphabet_size), dtype=np.float64)
@@ -34,6 +40,7 @@ def symbol_distance_table(alphabet_size: int) -> np.ndarray:
                 continue
             hi, lo = max(i, j), min(i, j)
             table[i, j] = breakpoints[hi - 1] - breakpoints[lo]
+    table.setflags(write=False)
     return table
 
 

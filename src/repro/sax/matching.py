@@ -15,11 +15,22 @@ Two matchers are provided:
 
 :func:`rotation_invariant_distance` combines them: prune shifts by
 MINDIST first, confirm the survivors with the Euclidean distance.
+
+Batched variants — :func:`best_shift_euclidean_batch` and
+:func:`best_shift_mindist_batch` — score one query against a whole
+``(V, n)`` stack of reference views in a single vectorised FFT /
+einsum pass, and accept precomputed reference transforms so an
+enrolment-time cache (see :class:`repro.sax.database.SignDatabase`)
+pays the reference-side FFTs once instead of per query.  The batched
+kernels are arithmetically identical to the scalar ones: same
+operations, same order, bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -29,8 +40,11 @@ from repro.sax.normalize import z_normalize
 
 __all__ = [
     "ShiftMatch",
+    "ShiftMatchBatch",
     "best_shift_euclidean",
+    "best_shift_euclidean_batch",
     "best_shift_mindist",
+    "best_shift_mindist_batch",
     "rotation_invariant_distance",
 ]
 
@@ -41,6 +55,112 @@ class ShiftMatch:
 
     distance: float
     shift: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShiftMatchBatch:
+    """Circular-shift matches of one query against a stack of references.
+
+    ``distances[v]`` / ``shifts[v]`` are the best-shift distance and
+    shift against reference view ``v`` — element ``v`` equals the
+    :class:`ShiftMatch` the scalar matcher returns for that pair.
+    """
+
+    distances: np.ndarray
+    shifts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.distances.shape != self.shifts.shape:
+            raise ValueError("distances and shifts must have the same shape")
+
+    def __len__(self) -> int:
+        return len(self.distances)
+
+    def __getitem__(self, index: int) -> ShiftMatch:
+        return ShiftMatch(
+            distance=float(self.distances[index]), shift=int(self.shifts[index])
+        )
+
+
+def _best_shift_euclidean_block(
+    spectra: np.ndarray,
+    ref_rfft_conj: np.ndarray,
+    totals: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared FFT core of the batched Euclidean matchers.
+
+    Evaluates ``|q_b - rot(r_v, s)|^2 = totals[b, v] - 2 * xcorr`` for
+    every (query, view, shift) triple and minimises over shifts.
+
+    Parameters
+    ----------
+    spectra:
+        ``(B, n//2+1)`` rFFTs of the z-normalised queries.
+    ref_rfft_conj:
+        ``(V, n//2+1)`` conjugated rFFTs of the z-normalised references.
+    totals:
+        ``(B, V)`` matrix of ``|q_b|^2 + |r_v|^2``.
+
+    Returns ``(distances, shifts, sq)`` where *distances* and *shifts*
+    are ``(B, V)`` and *sq* is the full ``(B, V, n)`` squared-distance
+    shift surface (clamped at zero) for callers that need per-shift
+    information.  Every element is bit-identical to the scalar
+    :func:`best_shift_euclidean` — same operations in the same order
+    (broadcast multiply, not einsum: einsum's complex product is not
+    bit-identical to ``*``).
+    """
+    corr = np.fft.irfft(spectra[:, None, :] * ref_rfft_conj[None, :, :], n=n, axis=2)
+    sq = totals[:, :, None] - 2.0 * corr
+    np.maximum(sq, 0.0, out=sq)
+    shifts = np.argmin(sq, axis=2)
+    distances = np.sqrt(np.take_along_axis(sq, shifts[:, :, None], axis=2)[..., 0])
+    return distances, shifts, sq
+
+
+def _best_shift_mindist_block(
+    query_indices: np.ndarray,
+    ref_indices: np.ndarray,
+    alphabet_size: int,
+    series_length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared core of the batched MINDIST matchers.
+
+    Evaluates the MINDIST of every (query, reference) word pair at every
+    circular shift from ``(B, w)`` and ``(V, w)`` symbol-index matrices,
+    minimising over shifts.  Returns ``(distances, shifts)``, each
+    ``(B, V)``; every element is bit-identical to the scalar
+    :func:`best_shift_mindist`.
+
+    Memory note: materialises a ``(B, V, w, w)`` gather — callers chunk
+    the query axis to keep it to a few megabytes.
+    """
+    table = symbol_distance_table(alphabet_size)
+    w = query_indices.shape[1]
+    rolled = ref_indices[:, _rotation_indices(w)]  # (V, w, w)
+    # Flat-index take from the pre-squared table: the same elements the
+    # scalar path gathers and squares, fetched via one contiguous-table
+    # lookup (much faster than a broadcast fancy gather).
+    squared_table = np.ascontiguousarray(table**2).ravel()
+    flat = query_indices[:, None, None, :] * alphabet_size + rolled[None, :, :, :]
+    sq = squared_table.take(flat).sum(axis=3)  # (B, V, w)
+    shifts = np.argmin(sq, axis=2)
+    scale = np.sqrt(series_length / w)
+    distances = scale * np.sqrt(np.take_along_axis(sq, shifts[:, :, None], axis=2)[..., 0])
+    return distances, shifts
+
+
+@lru_cache(maxsize=32)
+def _rotation_indices(word_length: int) -> np.ndarray:
+    """Return the ``(w, w)`` index matrix of all circular shifts.
+
+    Row ``s`` equals ``np.roll(np.arange(w), -s)``, so ``word[rot]``
+    materialises every rotation of a word in one strided gather.
+    """
+    base = np.arange(word_length)
+    rot = (base[None, :] + base[:, None]) % word_length
+    rot.setflags(write=False)
+    return rot
 
 
 def best_shift_euclidean(series_a: np.ndarray, series_b: np.ndarray) -> ShiftMatch:
@@ -70,7 +190,10 @@ def best_shift_mindist(word_a: SaxWord, word_b: SaxWord, series_length: int) -> 
     """Return the minimum MINDIST over all circular shifts of *word_b*.
 
     Word-level shifts have granularity ``series_length / word_length``
-    raw samples; this is the coarse, cheap stage of the matcher.
+    raw samples; this is the coarse, cheap stage of the matcher.  All
+    ``w`` rotations are materialised at once through the precomputed
+    strided index matrix, so the sweep is a single table gather rather
+    than ``w`` rolls.
     """
     if word_a.parameters != word_b.parameters:
         raise ValueError("words were produced with different SAX parameters")
@@ -80,15 +203,112 @@ def best_shift_mindist(word_a: SaxWord, word_b: SaxWord, series_length: int) -> 
     ib = word_b.indices()
     w = params.word_length
     scale = np.sqrt(series_length / w)
-    best_dist = np.inf
-    best_shift = 0
-    for s in range(w):
-        rolled = np.roll(ib, -s)
-        d = scale * float(np.sqrt((table[ia, rolled] ** 2).sum()))
-        if d < best_dist:
-            best_dist = d
-            best_shift = s
-    return ShiftMatch(distance=float(best_dist), shift=best_shift)
+    rolled = ib[_rotation_indices(w)]  # (w, w): row s == np.roll(ib, -s)
+    sq = (table[ia[None, :], rolled] ** 2).sum(axis=1)
+    best = int(np.argmin(sq))
+    return ShiftMatch(distance=float(scale * np.sqrt(sq[best])), shift=best)
+
+
+def best_shift_mindist_batch(
+    word_a: SaxWord,
+    refs: Sequence[SaxWord] | np.ndarray,
+    series_length: int,
+) -> ShiftMatchBatch:
+    """Return the best-shift MINDIST of *word_a* against many words at once.
+
+    Parameters
+    ----------
+    refs:
+        Either a sequence of :class:`SaxWord` (parameters must match
+        *word_a*) or an already-stacked ``(V, w)`` integer index matrix
+        as produced by :meth:`SaxWord.indices` — the form the database
+        caches at enrolment.
+    series_length:
+        Length ``n`` of the original series (MINDIST scaling).
+
+    Element ``v`` of the result is bit-identical to
+    ``best_shift_mindist(word_a, refs[v], series_length)``.
+    """
+    params = word_a.parameters
+    if isinstance(refs, np.ndarray):
+        ref_indices = np.asarray(refs)
+        if ref_indices.ndim != 2 or ref_indices.shape[1] != params.word_length:
+            raise ValueError(
+                f"reference index matrix must be (V, {params.word_length}), "
+                f"got {ref_indices.shape}"
+            )
+    else:
+        for word_b in refs:
+            if word_b.parameters != params:
+                raise ValueError("words were produced with different SAX parameters")
+        ref_indices = np.stack([word_b.indices() for word_b in refs])
+    distances, shifts = _best_shift_mindist_block(
+        word_a.indices()[None, :], ref_indices, params.alphabet_size, series_length
+    )
+    return ShiftMatchBatch(distances=distances[0], shifts=shifts[0])
+
+
+def best_shift_euclidean_batch(
+    query: np.ndarray,
+    refs: np.ndarray,
+    *,
+    ref_rfft_conj: np.ndarray | None = None,
+    ref_sq_norms: np.ndarray | None = None,
+    normalized: bool = False,
+) -> ShiftMatchBatch:
+    """Return the best circular-shift Euclidean match against a view stack.
+
+    Computes every shift distance against every reference row in one
+    vectorised FFT/einsum pass::
+
+        |q - rot(r_v, s)|^2 = |q|^2 + |r_v|^2 - 2 * xcorr(q, r_v)[s]
+
+    Parameters
+    ----------
+    query:
+        The ``(n,)`` query series.
+    refs:
+        ``(V, n)`` stack of reference series (one view per row).
+    ref_rfft_conj:
+        Optional precomputed ``conj(rfft(refs, axis=1))`` of the
+        *z-normalised* rows — the quantity an enrolment cache stores so
+        reference FFTs are paid once, not per query.
+    ref_sq_norms:
+        Optional precomputed per-row squared norms of the z-normalised
+        rows.
+    normalized:
+        When ``True``, *query* and *refs* are assumed z-normalised
+        already (they always are when the precomputed transforms are
+        supplied from a cache).
+
+    Element ``v`` of the result is bit-identical to
+    ``best_shift_euclidean(query, refs[v])``.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    if q.ndim != 1:
+        raise ValueError("expected a 1-D query series")
+    refs = np.asarray(refs, dtype=np.float64)
+    if refs.ndim != 2:
+        raise ValueError("expected a (V, n) reference matrix")
+    if refs.shape[1] != len(q):
+        raise ValueError(f"length mismatch: {q.shape} vs {refs.shape[1:]}")
+    if refs.shape[0] == 0:
+        return ShiftMatchBatch(
+            distances=np.empty(0, dtype=np.float64), shifts=np.empty(0, dtype=np.intp)
+        )
+    if not normalized:
+        q = z_normalize(q)
+        refs = np.stack([z_normalize(row) for row in refs])
+    n = len(q)
+    if ref_rfft_conj is None:
+        ref_rfft_conj = np.conj(np.fft.rfft(refs, axis=1))
+    if ref_sq_norms is None:
+        ref_sq_norms = (refs * refs).sum(axis=1)
+    q_sq = float((q * q).sum())
+    distances, shifts, _ = _best_shift_euclidean_block(
+        np.fft.rfft(q)[None, :], ref_rfft_conj, (q_sq + ref_sq_norms)[None, :], n
+    )
+    return ShiftMatchBatch(distances=distances[0], shifts=shifts[0])
 
 
 def rotation_invariant_distance(
