@@ -1,0 +1,24 @@
+# Convenience entry points; every target assumes the source layout
+# documented in README.md (src/ on PYTHONPATH, no install required).
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test docs-check bench-throughput check
+
+# Tier-1 verification: the full test suite (includes the docs gate via
+# tests/core/test_docs_check.py).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fail if any public function/class/method in repro.vision or
+# repro.recognition lacks a docstring (see docs/ARCHITECTURE.md).
+docs-check:
+	$(PYTHON) scripts/check_docstrings.py
+
+# Regenerate BENCH_throughput.json (gates: matcher >= 5x, end-to-end
+# >= 3x, distinct-frame >= 1.5x; see docs/BENCHMARKS.md).
+bench-throughput:
+	$(PYTHON) benchmarks/bench_throughput.py
+
+check: docs-check test

@@ -35,7 +35,9 @@ from repro.recognition.pipeline import (
 from repro.recognition.preprocess import (
     PreprocessResult,
     PreprocessSettings,
+    broadcast_elevations,
     preprocess_frame,
+    preprocess_frames,
     silhouette_to_series,
 )
 
@@ -63,6 +65,8 @@ __all__ = [
     "observation_elevation_deg",
     "PreprocessResult",
     "PreprocessSettings",
+    "broadcast_elevations",
     "preprocess_frame",
+    "preprocess_frames",
     "silhouette_to_series",
 ]

@@ -19,7 +19,6 @@ Both substitutions are documented in DESIGN.md §2.
 from __future__ import annotations
 
 import math
-import numbers
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -30,7 +29,12 @@ from repro.human.pose import pose_for_sign
 from repro.human.render import RenderSettings, render_frame
 from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
 from repro.recognition.budget import BudgetReport, FrameBudget
-from repro.recognition.preprocess import PreprocessResult, PreprocessSettings, preprocess_frame
+from repro.recognition.preprocess import (
+    PreprocessResult,
+    PreprocessSettings,
+    preprocess_frame,
+    preprocess_frames,
+)
 from repro.sax.database import SignDatabase
 from repro.sax.encoder import SaxParameters
 from repro.vision.image import Image
@@ -239,14 +243,17 @@ class SaxSignRecognizer:
     ) -> list[Recognition]:
         """Recognise a batch of frames in one amortised pass.
 
-        Pre-processing runs per frame (contour tracing is inherently
-        per-image), but SAX matching is a single batched database call:
-        every frame that yielded a usable series is scored against the
-        enrolment-time FFT cache in one vectorised pass, and per-frame
-        results are bit-identical to calling :meth:`recognise` on each
-        frame.  All returned :class:`Recognition`\\ s share one
-        batch-level :class:`BudgetReport` whose budget check applies to
-        the amortised per-frame cost.
+        Batch-first end to end: pre-processing is one
+        :func:`~repro.recognition.preprocess.preprocess_frames` call
+        (the frame stack flows through the vectorised vision stages
+        together), and SAX matching is a single batched database call
+        scoring every usable series against the enrolment-time FFT
+        cache.  Per-frame results are bit-identical to calling
+        :meth:`recognise` on each frame.  All returned
+        :class:`Recognition`\\ s share one batch-level
+        :class:`BudgetReport` whose budget check applies to the
+        amortised per-frame cost; the pre-processor's internal split is
+        recorded as dotted sub-stages (``"preprocess.threshold"``, …).
 
         Parameters
         ----------
@@ -257,23 +264,13 @@ class SaxSignRecognizer:
         frames = list(frames)
         if not self.database.labels:
             raise RuntimeError("no signs enrolled; call enroll_canonical_views() first")
-        # numbers.Real also covers numpy scalar elevations (np.float32 etc.).
-        if elevation_deg is None or isinstance(elevation_deg, numbers.Real):
-            elevations: list[float | None] = [elevation_deg] * len(frames)
-        else:
-            elevations = list(elevation_deg)
-            if len(elevations) != len(frames):
-                raise ValueError(
-                    f"{len(elevations)} elevations for {len(frames)} frames"
-                )
         budget = FrameBudget(
             budget_s=self.frame_budget_s, frame_count=max(1, len(frames))
         )
         with budget.stage("preprocess"):
-            pres = [
-                preprocess_frame(frame, self.preprocess_settings, elevation_deg=elev)
-                for frame, elev in zip(frames, elevations)
-            ]
+            pres = preprocess_frames(
+                frames, self.preprocess_settings, elevation_deg=elevation_deg, budget=budget
+            )
         usable = [pre.series for pre in pres if pre.ok]
         with budget.stage("sax_match"):
             matches = iter(self.database.classify_batch(usable) if usable else [])

@@ -8,6 +8,16 @@ component, trace its outer contour, optionally rectify perspective
 foreshortening, and convert to a fixed-length centroid-distance
 signature.
 
+Two code paths share these semantics (``docs/ARCHITECTURE.md``):
+
+* :func:`preprocess_frame` — the scalar reference, one frame at a time.
+* :func:`preprocess_frames` — the batched front-end: a ``(B, H, W)``
+  frame stack flows through the ``*_stack`` vision stages (blur,
+  threshold, morphology, components) in whole-batch NumPy ops, contours
+  come from the transition-table trace, and signatures are one stacked
+  conversion.  Per-frame results are bit-identical to the scalar path;
+  parity tests enforce it.
+
 Elevation rectification
 -----------------------
 The drone always knows its own altitude and the ground distance to its
@@ -21,22 +31,30 @@ real (non-flat) human silhouette provides — see DESIGN.md §2.
 from __future__ import annotations
 
 import math
+import numbers
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.vision.components import largest_component
-from repro.vision.contour import Contour, trace_outer_contour
-from repro.vision.filters import gaussian_blur
-from repro.vision.image import BinaryImage, Image
-from repro.vision.morphology import closing
-from repro.vision.signature import SignatureKind, compute_signature
-from repro.vision.threshold import threshold_otsu
+from repro.vision.components import largest_component, largest_components_stack
+from repro.vision.contour import Contour, trace_outer_contour, trace_outer_contour_fast
+from repro.vision.filters import gaussian_blur, gaussian_blur_stack
+from repro.vision.image import BinaryImage, Image, stack_pixels
+from repro.vision.morphology import closing, closing_stack
+from repro.vision.signature import SignatureKind, compute_signature, compute_signature_stack
+from repro.vision.threshold import threshold_otsu, threshold_otsu_stack
+
+if TYPE_CHECKING:
+    from repro.recognition.budget import FrameBudget
 
 __all__ = [
     "PreprocessSettings",
     "PreprocessResult",
     "preprocess_frame",
+    "preprocess_frames",
+    "broadcast_elevations",
     "silhouette_to_series",
     "rectify_contour",
 ]
@@ -129,6 +147,143 @@ def silhouette_to_series(
     """Shortcut used for clean (ground-truth) silhouettes: skip photometrics."""
     cfg = settings if settings is not None else PreprocessSettings()
     return _mask_to_result(silhouette, cfg, elevation_deg)
+
+
+def broadcast_elevations(
+    elevation_deg: float | Sequence[float] | None, count: int
+) -> list[float | None]:
+    """Expand a scalar-or-sequence elevation argument to one per frame.
+
+    Accepts ``None`` (no rectification anywhere), a single number
+    applied to every frame (``numbers.Real`` also covers numpy scalar
+    elevations), or a sequence of exactly *count* elevations.
+    """
+    if elevation_deg is None or isinstance(elevation_deg, numbers.Real):
+        return [elevation_deg] * count
+    elevations = list(elevation_deg)
+    if len(elevations) != count:
+        raise ValueError(f"{len(elevations)} elevations for {count} frames")
+    return elevations
+
+
+def _stage(budget: "FrameBudget | None", name: str):
+    """Time a sub-stage against *budget* when one is attached.
+
+    Uses :meth:`FrameBudget.substage`, so inside an open stage (the
+    pipeline's ``"preprocess"``) the entry nests as ``"preprocess.<name>"``
+    while a direct caller gets plain top-level stages that count toward
+    the budget total.
+    """
+    return nullcontext() if budget is None else budget.substage(name)
+
+
+def preprocess_frames(
+    frames: Sequence[Image],
+    settings: PreprocessSettings | None = None,
+    elevation_deg: float | Sequence[float] | None = None,
+    budget: "FrameBudget | None" = None,
+) -> list[PreprocessResult]:
+    """Run the pre-processing chain on a whole frame batch at once.
+
+    The batched counterpart of :func:`preprocess_frame`: frames of equal
+    shape are stacked into a ``(B, H, W)`` array and flow through the
+    vectorised vision stages together (mixed shapes are grouped by shape
+    and each group is batched).  Entry ``i`` of the result is
+    bit-identical to ``preprocess_frame(frames[i], settings,
+    elevation_deg=elevations[i])``.
+
+    Duplicate frames are memoised: slots holding the same ``Image``
+    *object* at the same elevation share one :class:`PreprocessResult`
+    (identity, never pixel equality — equal-looking but distinct
+    objects are processed separately).
+
+    Parameters
+    ----------
+    elevation_deg:
+        A single elevation applied to every frame, or one per frame
+        (see :func:`broadcast_elevations`).
+    budget:
+        Optional :class:`~repro.recognition.budget.FrameBudget`; when
+        given, each internal stage is timed as a sub-stage of whatever
+        stage the caller has open (``"preprocess.threshold"``, … inside
+        the pipeline's ``"preprocess"``; plain top-level stages when
+        called directly).
+    """
+    cfg = settings if settings is not None else PreprocessSettings()
+    frames = list(frames)
+    elevations = broadcast_elevations(elevation_deg, len(frames))
+    results: list[PreprocessResult | None] = [None] * len(frames)
+    # Duplicate frames (the same Image object at the same elevation —
+    # common in cycled benchmark batches and repeated view sweeps) are
+    # pre-processed once; their slots share one PreprocessResult.
+    seen: dict[tuple[int, float | None], int] = {}
+    duplicates: list[tuple[int, int]] = []
+    by_shape: dict[tuple[int, int], list[int]] = {}
+    for index, frame in enumerate(frames):
+        key = (id(frame), elevations[index])
+        representative = seen.setdefault(key, index)
+        if representative != index:
+            duplicates.append((index, representative))
+        else:
+            by_shape.setdefault(frame.shape, []).append(index)
+    for indices in by_shape.values():
+        _preprocess_group(frames, elevations, indices, cfg, budget, results)
+    for index, representative in duplicates:
+        results[index] = results[representative]
+    return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def _preprocess_group(
+    frames: list[Image],
+    elevations: list[float | None],
+    indices: list[int],
+    cfg: PreprocessSettings,
+    budget: "FrameBudget | None",
+    results: list[PreprocessResult | None],
+) -> None:
+    """Batch-process the same-shape *indices* subset of *frames* in place."""
+    with _stage(budget, "blur"):
+        if cfg.blur_sigma > 0:
+            stack = gaussian_blur_stack([frames[i].pixels for i in indices], cfg.blur_sigma)
+        else:
+            stack = stack_pixels([frames[i] for i in indices])
+    with _stage(budget, "threshold"):
+        masks = threshold_otsu_stack(stack, foreground_dark=True)
+    with _stage(budget, "morphology"):
+        if cfg.closing_radius > 0:
+            masks = closing_stack(masks, cfg.closing_radius)
+    with _stage(budget, "components"):
+        components = largest_components_stack(masks)
+
+    contours: list[Contour] = []
+    accepted: list[tuple[int, BinaryImage, Contour]] = []
+    with _stage(budget, "contour"):
+        for slot, component in zip(indices, components):
+            if component is None:
+                results[slot] = PreprocessResult(None, None, None, reject_reason="no foreground")
+                continue
+            mask, area, bbox = component
+            silhouette = BinaryImage(mask)
+            if area < cfg.min_component_area_px:
+                results[slot] = PreprocessResult(
+                    silhouette, None, None, reject_reason="silhouette too small"
+                )
+                continue
+            contour = trace_outer_contour_fast(silhouette, bbox=bbox)
+            if contour is None or len(contour) < 8:
+                results[slot] = PreprocessResult(
+                    silhouette, None, None, reject_reason="degenerate contour"
+                )
+                continue
+            if elevations[slot] is not None:
+                contour = rectify_contour(contour, elevations[slot])
+            contours.append(contour)
+            accepted.append((slot, silhouette, contour))
+    with _stage(budget, "signature"):
+        if contours:
+            series = compute_signature_stack(contours, cfg.signature_kind, cfg.signature_length)
+            for (slot, silhouette, contour), row in zip(accepted, series):
+                results[slot] = PreprocessResult(silhouette, contour, row.copy())
 
 
 def _mask_to_result(

@@ -3,6 +3,12 @@
 Two-pass union-find labelling with 8-connectivity.  The recognition
 pre-processor keeps only the largest component: the signaller's
 silhouette, discarding stray foreground (leaves, other objects).
+
+:func:`largest_components_stack` extracts the largest component of
+every mask in a ``(B, H, W)`` stack with a *single* labelling call: the
+frames are stacked vertically with background separator rows, so SciPy
+labels the whole batch in one C pass and areas fall out of one
+``bincount``.
 """
 
 from __future__ import annotations
@@ -13,7 +19,13 @@ import numpy as np
 
 from repro.vision.image import BinaryImage
 
-__all__ = ["ConnectedComponent", "label_components", "largest_component"]
+__all__ = [
+    "ConnectedComponent",
+    "label_components",
+    "label_components_fast",
+    "largest_component",
+    "largest_components_stack",
+]
 
 
 @dataclass(frozen=True)
@@ -179,4 +191,85 @@ def largest_component(image: BinaryImage) -> ConnectedComponent | None:
     return components[0] if components else None
 
 
-__all__.append("label_components_fast")
+def largest_components_stack(
+    stack: np.ndarray,
+) -> list[tuple[np.ndarray, int, tuple[int, int, int, int]] | None]:
+    """Largest component of every frame in a ``(B, H, W)`` stack.
+
+    One stacked SciPy labelling call covers the whole batch: frames are
+    separated by background rows so components cannot bridge them, and
+    SciPy assigns labels in raster order, which makes each frame's label
+    range contiguous.  Entry ``b`` is ``None`` when frame ``b`` has no
+    foreground; otherwise it is ``(mask, area, bbox)`` where the mask
+    equals ``largest_component(BinaryImage(stack[b])).mask.pixels``
+    exactly (area ties resolve to the first component in scan order on
+    both paths) and ``bbox = (top, left, height, width)`` is a window
+    guaranteed to contain all of the mask's foreground — suitable as
+    the search hint of
+    :func:`~repro.vision.contour.trace_outer_contour_fast`.  Falls back
+    to per-frame :func:`largest_component` when SciPy is unavailable.
+    """
+    stack = np.asarray(stack)
+    if stack.ndim != 3:
+        raise ValueError(f"expected a (B, H, W) stack, got {stack.ndim}-D")
+    if stack.dtype != np.bool_:
+        stack = stack.astype(bool)
+    n_frames, h, w = stack.shape
+    if n_frames == 0:
+        return []
+    try:
+        from scipy import ndimage
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        results: list[tuple[np.ndarray, int, tuple[int, int, int, int]] | None] = []
+        for frame in stack:
+            comp = largest_component(BinaryImage(frame))
+            results.append(None if comp is None else (comp.mask.pixels, comp.area, comp.bbox))
+        return results
+
+    # Foreground bounding boxes, batched: labelling cost then scales
+    # with the silhouettes, not the full frames.  Cropping keeps each
+    # frame's raster order (rows/columns are only removed wholesale
+    # before/after all foreground), so component scan order — and with
+    # it the area tie-break — is unchanged.
+    row_any = stack.any(axis=2)
+    col_any = stack.any(axis=1)
+    nonempty = row_any.any(axis=1)
+    if not nonempty.any():
+        return [None] * n_frames
+    tops = np.argmax(row_any, axis=1)
+    bottoms = h - np.argmax(row_any[:, ::-1], axis=1)
+    lefts = np.argmax(col_any, axis=1)
+    rights = w - np.argmax(col_any[:, ::-1], axis=1)
+    crop_h = int((bottoms - tops)[nonempty].max())
+    crop_w = int((rights - lefts)[nonempty].max())
+
+    # One background separator row per frame stops components bridging
+    # vertically stacked crops in the single labelling call.
+    canvas = np.zeros((n_frames, crop_h + 1, crop_w), dtype=bool)
+    for b in np.nonzero(nonempty)[0]:
+        top, bottom, left, right = tops[b], bottoms[b], lefts[b], rights[b]
+        canvas[b, : bottom - top, : right - left] = stack[b, top:bottom, left:right]
+    labelled = ndimage.label(
+        canvas.reshape(n_frames * (crop_h + 1), crop_w),
+        structure=np.ones((3, 3), dtype=bool),
+    )[0].reshape(n_frames, crop_h + 1, crop_w)
+    areas = np.bincount(labelled.ravel())
+    # Raster-order labelling over vertically stacked frames means frame b
+    # owns the contiguous label range (max label before it, its own max].
+    frame_max = labelled.reshape(n_frames, -1).max(axis=1)
+    prev_max = np.concatenate([[0], np.maximum.accumulate(frame_max)[:-1]])
+    results = []
+    for b in range(n_frames):
+        low, high = int(prev_max[b]) + 1, int(frame_max[b])
+        if high < low:
+            results.append(None)
+            continue
+        best = low + int(np.argmax(areas[low : high + 1]))
+        top, bottom, left, right = tops[b], bottoms[b], lefts[b], rights[b]
+        mask = np.zeros((h, w), dtype=bool)
+        mask[top:bottom, left:right] = (
+            labelled[b, : bottom - top, : right - left] == best
+        )
+        bbox = (int(top), int(left), int(bottom - top), int(right - left))
+        results.append((mask, int(areas[best]), bbox))
+    return results

@@ -5,15 +5,34 @@ The paper's pipeline used OpenCV; that is unavailable here, so
 An :class:`Image` is a thin, validated wrapper over a ``float64`` array in
 ``[0, 1]`` (grayscale) and :class:`BinaryImage` over a ``bool`` array.
 Row index grows downwards (raster order), matching the camera model.
+
+:func:`stack_pixels` adapts a sequence of same-shape images to the
+``(B, H, W)`` array layout the batched vision stages operate on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["Image", "BinaryImage"]
+__all__ = ["Image", "BinaryImage", "stack_pixels"]
+
+
+def stack_pixels(images: "Sequence[Image]") -> np.ndarray:
+    """Stack same-shape grayscale images into a ``(B, H, W)`` array.
+
+    The batched vision stages (:func:`~repro.vision.filters.gaussian_blur_stack`,
+    :func:`~repro.vision.threshold.threshold_otsu_stack`, …) consume this
+    layout.  Raises ``ValueError`` on an empty sequence or mixed shapes.
+    """
+    if not images:
+        raise ValueError("need at least one image to stack")
+    shapes = {image.shape for image in images}
+    if len(shapes) > 1:
+        raise ValueError(f"cannot stack mixed shapes: {sorted(shapes)}")
+    return np.stack([image.pixels for image in images])
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,47 @@
+"""Tier-1 docs gate: run ``scripts/check_docstrings.py`` as the suite does.
+
+Keeps the public API of :mod:`repro.vision` and :mod:`repro.recognition`
+fully documented, so the surface named in ``docs/ARCHITECTURE.md``
+cannot drift from the code without failing verification.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+# Load the script in isolation rather than putting scripts/ on sys.path
+# (which would shadow same-named modules for the whole pytest session).
+_spec = importlib.util.spec_from_file_location(
+    "repro_scripts_check_docstrings", ROOT / "scripts" / "check_docstrings.py"
+)
+check_docstrings = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docstrings)
+
+
+def test_default_packages_fully_documented(capsys):
+    exit_code = check_docstrings.main([])
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"undocumented public API:\n{output}"
+
+
+def test_violations_are_detected():
+    """The gate actually bites: a synthetic undocumented module fails."""
+    import types
+
+    module = types.ModuleType("repro_docscheck_probe")
+    module.__all__ = ["undocumented"]
+
+    def undocumented():
+        pass
+
+    module.undocumented = undocumented
+    module.__doc__ = "Probe module."
+    sys.modules["repro_docscheck_probe"] = module
+    try:
+        module.__path__ = []  # behave like a leaf package
+        problems = check_docstrings.check_package("repro_docscheck_probe")
+    finally:
+        del sys.modules["repro_docscheck_probe"]
+    assert problems == ["repro_docscheck_probe.undocumented: missing docstring"]

@@ -1,0 +1,178 @@
+"""Tests for the batched pre-processing front-end.
+
+``preprocess_frames`` must return, slot for slot, exactly what
+``preprocess_frame`` returns — silhouette, contour, series and reject
+reason — including the edge cases the scalar path handles (no
+foreground, undersized silhouettes, border-touching shapes) and under
+mixed frame shapes, per-frame elevations and duplicate frame objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import (
+    COMMUNICATIVE_SIGNS,
+    MarshallingSign,
+    RenderSettings,
+    pose_for_sign,
+    render_frame,
+)
+from repro.recognition.budget import FrameBudget
+from repro.recognition.pipeline import observation_elevation_deg
+from repro.recognition.preprocess import (
+    PreprocessSettings,
+    broadcast_elevations,
+    preprocess_frame,
+    preprocess_frames,
+)
+from repro.vision.image import Image
+
+ELEVATION = observation_elevation_deg(5.0, 3.0)
+
+
+def sign_frame(sign=MarshallingSign.YES, azimuth=0.0, noise=0.02, seed_camera=True):
+    camera = observation_camera(5.0, 3.0, azimuth)
+    return render_frame(pose_for_sign(sign), camera, RenderSettings(noise_sigma=noise))
+
+
+def assert_result_parity(batched, scalar, slot=None):
+    assert batched.reject_reason == scalar.reject_reason, slot
+    for attr in ("silhouette", "contour", "series"):
+        got, want = getattr(batched, attr), getattr(scalar, attr)
+        assert (got is None) == (want is None), (slot, attr)
+    if scalar.silhouette is not None:
+        assert np.array_equal(batched.silhouette.pixels, scalar.silhouette.pixels), slot
+    if scalar.contour is not None:
+        assert np.array_equal(batched.contour.points, scalar.contour.points), slot
+    if scalar.series is not None:
+        assert np.array_equal(batched.series, scalar.series), slot
+
+
+class TestPreprocessFramesParity:
+    def test_sign_views_bit_identical(self):
+        frames = [
+            sign_frame(sign, azimuth)
+            for sign in COMMUNICATIVE_SIGNS
+            for azimuth in (0.0, 30.0, 65.0)
+        ]
+        batch = preprocess_frames(frames, elevation_deg=ELEVATION)
+        for i, (frame, batched) in enumerate(zip(frames, batch)):
+            assert_result_parity(
+                batched, preprocess_frame(frame, elevation_deg=ELEVATION), slot=i
+            )
+
+    def test_reject_cases_in_place(self):
+        settings = PreprocessSettings(min_component_area_px=200)
+        tiny = np.ones((40, 40))
+        tiny[10:14, 10:14] = 0.0  # 16 px silhouette: below the area floor
+        frames = [
+            sign_frame(),
+            Image.full(40, 40, 1.0),   # no foreground
+            Image(tiny),               # silhouette too small
+            sign_frame(MarshallingSign.NO),
+        ]
+        batch = preprocess_frames(frames, settings, elevation_deg=ELEVATION)
+        assert batch[1].reject_reason == "no foreground"
+        assert batch[2].reject_reason == "silhouette too small"
+        for i, (frame, batched) in enumerate(zip(frames, batch)):
+            assert_result_parity(
+                batched, preprocess_frame(frame, settings, elevation_deg=ELEVATION), slot=i
+            )
+
+    def test_mixed_shapes_grouped_by_shape(self):
+        frames = [
+            sign_frame(),
+            Image.full(48, 64, 1.0),
+            sign_frame(MarshallingSign.NO),
+            Image.full(64, 48, 0.0),
+        ]
+        batch = preprocess_frames(frames, elevation_deg=ELEVATION)
+        for i, (frame, batched) in enumerate(zip(frames, batch)):
+            assert_result_parity(
+                batched, preprocess_frame(frame, elevation_deg=ELEVATION), slot=i
+            )
+
+    def test_per_frame_elevations(self):
+        frames = [sign_frame(), sign_frame(MarshallingSign.NO)]
+        elevations = [ELEVATION, 10.0]
+        batch = preprocess_frames(frames, elevation_deg=elevations)
+        for i, (frame, elevation) in enumerate(zip(frames, elevations)):
+            assert_result_parity(
+                batch[i], preprocess_frame(frame, elevation_deg=elevation), slot=i
+            )
+
+    def test_no_elevation_skips_rectification(self):
+        frame = sign_frame()
+        batch = preprocess_frames([frame])
+        assert_result_parity(batch[0], preprocess_frame(frame))
+
+    def test_empty_batch(self):
+        assert preprocess_frames([]) == []
+
+    def test_elevation_count_mismatch(self):
+        with pytest.raises(ValueError):
+            preprocess_frames([sign_frame()], elevation_deg=[1.0, 2.0])
+
+
+class TestDuplicateFrameMemoisation:
+    def test_duplicate_objects_share_one_result(self):
+        frame = sign_frame()
+        batch = preprocess_frames([frame, frame, frame], elevation_deg=ELEVATION)
+        assert batch[1] is batch[0] and batch[2] is batch[0]
+        assert_result_parity(batch[0], preprocess_frame(frame, elevation_deg=ELEVATION))
+
+    def test_different_elevations_not_shared(self):
+        frame = sign_frame()
+        batch = preprocess_frames([frame, frame], elevation_deg=[ELEVATION, 5.0])
+        assert batch[0] is not batch[1]
+        assert_result_parity(batch[1], preprocess_frame(frame, elevation_deg=5.0))
+
+    def test_equal_but_distinct_objects_not_deduplicated(self):
+        # Memoisation keys on object identity, never on pixel content.
+        a = Image.full(32, 32, 1.0)
+        b = Image.full(32, 32, 1.0)
+        batch = preprocess_frames([a, b])
+        assert batch[0] is not batch[1]
+
+
+class TestBroadcastElevations:
+    def test_scalar_and_none(self):
+        assert broadcast_elevations(None, 3) == [None, None, None]
+        assert broadcast_elevations(12.5, 2) == [12.5, 12.5]
+        assert broadcast_elevations(np.float32(4.0), 2) == [np.float32(4.0)] * 2
+
+    def test_sequence_passthrough_and_mismatch(self):
+        assert broadcast_elevations([1.0, 2.0], 2) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            broadcast_elevations([1.0], 2)
+
+
+class TestBudgetSubStages:
+    def test_substages_recorded_under_parent(self):
+        budget = FrameBudget(frame_count=2)
+        frames = [sign_frame(), sign_frame(MarshallingSign.NO)]
+        with budget.stage("preprocess"):
+            preprocess_frames(frames, elevation_deg=ELEVATION, budget=budget)
+        names = [t.stage for t in budget.timings]
+        assert "preprocess" in names
+        assert "preprocess.threshold" in names and "preprocess.contour" in names
+        # Sub-stages do not double-count: the total is the parent alone.
+        parent = next(t for t in budget.timings if t.stage == "preprocess")
+        assert budget.total_s() == pytest.approx(parent.duration_s)
+        report = budget.report()
+        assert 0.0 < report.stage_fraction("preprocess.threshold") < 1.0
+
+    def test_direct_budget_records_top_level_stages(self):
+        # Without an open parent stage the sub-stages land top-level, so
+        # a direct caller's total and budget check stay meaningful.
+        budget = FrameBudget(frame_count=1)
+        preprocess_frames([sign_frame()], elevation_deg=ELEVATION, budget=budget)
+        names = [t.stage for t in budget.timings]
+        assert "threshold" in names and "contour" in names
+        assert all("." not in name for name in names)
+        assert budget.total_s() > 0.0
+
+    def test_budget_optional(self):
+        frames = [sign_frame()]
+        assert preprocess_frames(frames, elevation_deg=ELEVATION)[0].ok
