@@ -4,15 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test docs-check bench-throughput check
+.PHONY: test lint docs-check bench-throughput bench-dynamic bench-smoke check
 
 # Tier-1 verification: the full test suite (includes the docs gate via
 # tests/core/test_docs_check.py).
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Fail if any public function/class/method in repro.vision or
-# repro.recognition lacks a docstring (see docs/ARCHITECTURE.md).
+# Ruff gate (config in pyproject.toml: pyflakes + runtime pycodestyle
+# errors).  Offline environments without ruff skip with a notice — CI
+# always installs it, so findings cannot land on main.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "lint: ruff not installed; skipped (CI runs it)"; \
+	fi
+
+# Fail if any public function/class/method in repro.vision,
+# repro.recognition, repro.sax or repro.simulation lacks a docstring
+# (see docs/ARCHITECTURE.md).
 docs-check:
 	$(PYTHON) scripts/check_docstrings.py
 
@@ -21,4 +32,15 @@ docs-check:
 bench-throughput:
 	$(PYTHON) benchmarks/bench_throughput.py
 
-check: docs-check test
+# Regenerate BENCH_dynamic_batch.json (gates: window >= 3x, distinct
+# window >= 1.2x, stream overhead <= 2x; see docs/BENCHMARKS.md).
+bench-dynamic:
+	$(PYTHON) benchmarks/bench_dynamic_batch.py
+
+# Reduced-size benchmark runs with perf gates disabled (parity checks
+# stay on) — the CI smoke job uses this so bench scripts cannot rot.
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_throughput.py
+	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_dynamic_batch.py
+
+check: lint docs-check test

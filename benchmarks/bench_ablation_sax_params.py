@@ -7,9 +7,6 @@ improve in-envelope accuracy over a bad configuration, but no parameter
 choice makes the dead angle go away.
 """
 
-import numpy as np
-import pytest
-
 from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign
 from repro.recognition import SaxSignRecognizer
 from repro.sax import HarmonySearchConfig, SaxParameters, grid_search, harmony_search

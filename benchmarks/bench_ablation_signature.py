@@ -10,8 +10,6 @@ Two DESIGN.md §6 choices quantified:
 """
 
 import numpy as np
-import pytest
-
 from repro.geometry import observation_camera
 from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign, RenderSettings, pose_for_sign, render_frame
 from repro.recognition import PreprocessSettings, SaxSignRecognizer, preprocess_frame

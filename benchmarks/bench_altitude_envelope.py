@@ -8,9 +8,6 @@ covers at least [2, 5] m, failing at very low altitude where the
 perspective collapses.
 """
 
-import numpy as np
-import pytest
-
 from repro.human import MarshallingSign
 from repro.recognition import sweep_altitude
 
@@ -33,7 +30,6 @@ def test_altitude_envelope(benchmark, recognizer):
     assert high >= 5.0, f"band ends at {high} m, paper works to 5 m"
     # And there must BE a lower limit (the envelope is a band, not
     # everything).
-    failures = [p.parameter for p in envelope.points if not p.correct]
     benchmark.extra_info["band"] = [low, high]
     benchmark.extra_info["per_altitude"] = {
         f"{p.parameter:g}": ("OK" if p.correct else (p.reject_reason or "wrong"))

@@ -8,11 +8,8 @@ claims: SAX matches or beats both on off-canonical accuracy while
 remaining in the same latency class as the cheap baseline.
 """
 
-import numpy as np
-import pytest
-
 from repro.geometry import observation_camera
-from repro.human import COMMUNICATIVE_SIGNS, MarshallingSign, pose_for_sign, render_silhouette
+from repro.human import COMMUNICATIVE_SIGNS, pose_for_sign, render_silhouette
 from repro.recognition import HuMomentClassifier, TemplateCorrelationClassifier
 
 TEST_AZIMUTHS = [0.0, 15.0, 35.0, 55.0, 65.0]

@@ -11,9 +11,6 @@ front/back symmetry).  Shape claims: reliable through >= 60°, erratic
 beyond, dead angle within [40°, 140°] (paper: 100°).
 """
 
-import numpy as np
-import pytest
-
 from repro.human import MarshallingSign
 from repro.recognition import sweep_azimuth
 

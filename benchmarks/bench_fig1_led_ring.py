@@ -8,8 +8,6 @@ trivially cheap next to the recognition pipeline).
 Run ``python benchmarks/bench_fig1_led_ring.py`` for the printed figure.
 """
 
-import pytest
-
 from repro.signaling import AllRoundLightRing, LightColor, RingMode
 
 

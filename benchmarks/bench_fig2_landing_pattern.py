@@ -7,8 +7,6 @@ ordering that matters for safety: lights NEVER go out before the rotors
 stop.
 """
 
-import pytest
-
 from repro.drone import DroneAgent, LandingPattern, TakeOffPattern
 from repro.signaling import RingMode
 from repro.simulation import World

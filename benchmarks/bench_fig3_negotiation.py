@@ -6,8 +6,6 @@ exercised with deterministic personas and the full pattern sequence is
 checked (poke -> attention -> rectangle -> answer -> acknowledgement).
 """
 
-import pytest
-
 from repro.drone import DroneAgent, TakeOffPattern
 from repro.geometry import Vec2
 from repro.human import HumanAgent, Persona, TrainingLevel

@@ -9,8 +9,6 @@ these two azimuths.
 """
 
 import numpy as np
-import pytest
-
 from repro.geometry import observation_camera
 from repro.human import MarshallingSign, RenderSettings, pose_for_sign, render_frame
 from repro.recognition import preprocess_frame

@@ -10,8 +10,6 @@ least as much as the 65° frame (larger silhouette, longer contour), and
 expensive part, SAX conversion + string search are cheap per reference.
 """
 
-import pytest
-
 from repro.geometry import observation_camera
 from repro.human import MarshallingSign, RenderSettings, pose_for_sign, render_frame
 from repro.recognition.pipeline import observation_elevation_deg

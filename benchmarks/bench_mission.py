@@ -6,8 +6,6 @@ completes, most traps are read, negotiated access resolves the human
 blockers, and no safety violations occur in nominal conditions.
 """
 
-import pytest
-
 from repro import CollaborativeEnvironment
 from repro.mission import OrchardConfig
 

@@ -12,7 +12,6 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.human import COMMUNICATIVE_SIGNS
 from repro.sax import best_shift_euclidean, best_shift_mindist
 
 

@@ -17,12 +17,17 @@ Measures frames/sec of the batched engine against the scalar loop on
   what stage vectorisation alone buys.  Gate: ≥ 1.5× (CI-safe floor;
   see ``docs/BENCHMARKS.md`` for the measured margin).
 
+Set ``BENCH_SMOKE=1`` to run a tiny batch with the perf gates disabled
+(parity checks stay on) — the CI smoke job uses this so the script
+cannot rot without failing fast.
+
 Run as a script to write the ``BENCH_throughput.json`` artifact::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -30,7 +35,8 @@ from repro.geometry import observation_camera
 from repro.human import COMMUNICATIVE_SIGNS, RenderSettings, pose_for_sign, render_frame
 from repro.recognition.pipeline import observation_elevation_deg
 
-BATCH_SIZE = 64
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+BATCH_SIZE = 16 if SMOKE else 64
 ELEVATION = observation_elevation_deg(5.0, 3.0)
 MATCHER_SPEEDUP_GATE = 5.0
 END_TO_END_SPEEDUP_GATE = 3.0
@@ -122,6 +128,7 @@ def measure(recognizer) -> dict:
 
     return {
         "batch_size": BATCH_SIZE,
+        "smoke": SMOKE,
         "enrolled_views": len(database),
         "matcher": {
             "scalar_fps": fps(scalar_match_s, BATCH_SIZE),
@@ -145,7 +152,8 @@ def test_matcher_throughput(benchmark, recognizer):
     speedup = scalar_s / batch_s
     benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 1)
     benchmark.extra_info["scalar_fps"] = round(fps(scalar_s, BATCH_SIZE))
-    assert speedup >= MATCHER_SPEEDUP_GATE
+    if not SMOKE:
+        assert speedup >= MATCHER_SPEEDUP_GATE
 
 
 def test_end_to_end_throughput(benchmark, recognizer):
@@ -157,7 +165,8 @@ def test_end_to_end_throughput(benchmark, recognizer):
     batch_s = timed(lambda: recognizer.recognize_batch(frames, elevation_deg=ELEVATION))
     speedup = scalar_s / batch_s
     benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
-    assert speedup >= END_TO_END_SPEEDUP_GATE
+    if not SMOKE:
+        assert speedup >= END_TO_END_SPEEDUP_GATE
 
 
 def test_end_to_end_distinct_throughput(benchmark, recognizer):
@@ -170,7 +179,8 @@ def test_end_to_end_distinct_throughput(benchmark, recognizer):
     batch_s = timed(lambda: recognizer.recognize_batch(frames, elevation_deg=ELEVATION))
     speedup = scalar_s / batch_s
     benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 2)
-    assert speedup >= DISTINCT_SPEEDUP_GATE
+    if not SMOKE:
+        assert speedup >= DISTINCT_SPEEDUP_GATE
 
 
 if __name__ == "__main__":
@@ -196,6 +206,9 @@ if __name__ == "__main__":
         f"batched  ({d['speedup']:.2f}x, gate >= {DISTINCT_SPEEDUP_GATE:.1f}x)"
     )
     print(f"  wrote {artifact.name}")
-    assert m["speedup"] >= MATCHER_SPEEDUP_GATE, "matcher throughput gate failed"
-    assert e["speedup"] >= END_TO_END_SPEEDUP_GATE, "end-to-end throughput gate failed"
-    assert d["speedup"] >= DISTINCT_SPEEDUP_GATE, "distinct-frame throughput gate failed"
+    if SMOKE:
+        print("  smoke mode: gates disabled")
+    else:
+        assert m["speedup"] >= MATCHER_SPEEDUP_GATE, "matcher throughput gate failed"
+        assert e["speedup"] >= END_TO_END_SPEEDUP_GATE, "end-to-end throughput gate failed"
+        assert d["speedup"] >= DISTINCT_SPEEDUP_GATE, "distinct-frame throughput gate failed"

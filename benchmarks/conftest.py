@@ -6,11 +6,20 @@ individual benchmarks measure their own work, not enrolment.
 
 import pytest
 
-from repro.recognition import SaxSignRecognizer
+from repro.human import MOVE_UPWARD, WAVE_OFF
+from repro.recognition import DynamicSignRecognizer, SaxSignRecognizer
 
 
 @pytest.fixture(scope="session")
 def recognizer() -> SaxSignRecognizer:
     rec = SaxSignRecognizer()
     rec.enroll_canonical_views()
+    return rec
+
+
+@pytest.fixture(scope="session")
+def dynamic_recognizer() -> DynamicSignRecognizer:
+    rec = DynamicSignRecognizer()
+    rec.enroll(WAVE_OFF)
+    rec.enroll(MOVE_UPWARD)
     return rec

@@ -8,7 +8,7 @@ paper's Figure 1 plus the Figure-2 shutdown.
 Run:  python examples/led_ring_demo.py
 """
 
-from repro.drone import CruisePattern, DroneAgent, LandingPattern, TakeOffPattern
+from repro.drone import CruisePattern, DroneAgent, TakeOffPattern
 from repro.geometry import Vec2
 from repro.simulation import World
 

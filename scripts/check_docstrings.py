@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Docs gate: the public API of ``repro.vision`` and ``repro.recognition``
-must be documented.
+"""Docs gate: the public API of ``repro.vision``, ``repro.recognition``,
+``repro.sax`` and ``repro.simulation`` must be documented.
 
-Checks, for every module in the two packages:
+Checks, for every module in the covered packages:
 
 * the module has a docstring and an ``__all__`` export list;
 * every exported function and class has a docstring;
@@ -25,7 +25,7 @@ import inspect
 import pkgutil
 import sys
 
-DEFAULT_PACKAGES = ("repro.vision", "repro.recognition")
+DEFAULT_PACKAGES = ("repro.vision", "repro.recognition", "repro.sax", "repro.simulation")
 
 
 def iter_modules(package_name: str):

@@ -13,8 +13,6 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.drone.agent import DroneAgent
 from repro.geometry.vec import Vec2
 from repro.human.agent import HumanAgent

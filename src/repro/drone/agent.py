@@ -10,7 +10,7 @@ trajectory for the pattern classifier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.drone.navigation import NavigationConfig, WaypointFollower
 from repro.drone.pattern_classifier import TrajectorySample
@@ -20,7 +20,6 @@ from repro.drone.patterns import (
     LightAction,
     PatternKind,
     PatternStep,
-    TakeOffPattern,
 )
 from repro.drone.state_machine import DroneMode, FlightModeMachine
 from repro.geometry.vec import Vec2, Vec3

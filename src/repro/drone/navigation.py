@@ -8,7 +8,7 @@ turns "be at P" into velocity commands for the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.drone.pid import PidController, PidGains
 from repro.geometry.vec import Vec3

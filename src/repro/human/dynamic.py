@@ -17,7 +17,6 @@ labels*, which is again just string matching.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.geometry.vec import Vec3

@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from enum import Enum
 
 from repro.human.signs import MarshallingSign
 
 __all__ = ["TrainingLevel", "Persona", "SUPERVISOR", "WORKER", "VISITOR", "ReactionSample"]
-
-from enum import Enum
 
 
 class TrainingLevel(Enum):

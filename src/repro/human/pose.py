@@ -17,7 +17,7 @@ produced in world coordinates ready for camera projection.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry.vec import Vec3
 from repro.human.signs import MarshallingSign

@@ -15,7 +15,6 @@ from enum import Enum
 from repro.drone.agent import DroneAgent
 from repro.drone.patterns import CruisePattern, LandingPattern, TakeOffPattern
 from repro.geometry.vec import Vec2, Vec3
-from repro.human.agent import HumanAgent
 from repro.mission.flytrap import FlyTrap, TrapReading
 from repro.mission.orchard import Orchard
 from repro.mission.planner import plan_route

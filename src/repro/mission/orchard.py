@@ -10,7 +10,7 @@ traps".
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry.vec import Vec2
 from repro.human.agent import HumanAgent

@@ -17,8 +17,7 @@ the human knows they were understood.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.drone.agent import DroneAgent

@@ -15,6 +15,8 @@ from repro.recognition.dynamic import (
     DynamicObservation,
     DynamicRecognition,
     DynamicSignRecognizer,
+    DynamicSignStream,
+    DynamicWindowDecoder,
 )
 from repro.recognition.evaluation import (
     AltitudeEnvelope,
@@ -46,6 +48,8 @@ __all__ = [
     "DynamicObservation",
     "DynamicRecognition",
     "DynamicSignRecognizer",
+    "DynamicSignStream",
+    "DynamicWindowDecoder",
     "HuMomentClassifier",
     "TemplateCorrelationClassifier",
     "BudgetReport",

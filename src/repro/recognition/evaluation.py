@@ -10,12 +10,12 @@ region around 90°).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.human.signs import MarshallingSign
-from repro.recognition.pipeline import Recognition, SaxSignRecognizer
+from repro.recognition.pipeline import SaxSignRecognizer
 
 __all__ = [
     "SweepPoint",

@@ -19,18 +19,15 @@ Both substitutions are documented in DESIGN.md §2.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
-from repro.geometry.camera import PinholeCamera, observation_camera
+from repro.geometry.camera import observation_camera
 from repro.human.pose import pose_for_sign
 from repro.human.render import RenderSettings, render_frame
 from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
 from repro.recognition.budget import BudgetReport, FrameBudget
 from repro.recognition.preprocess import (
-    PreprocessResult,
     PreprocessSettings,
     preprocess_frame,
     preprocess_frames,

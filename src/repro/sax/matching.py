@@ -34,7 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sax.distance import euclidean_distance, mindist, symbol_distance_table
+from repro.sax.distance import symbol_distance_table
 from repro.sax.encoder import SaxEncoder, SaxWord
 from repro.sax.normalize import z_normalize
 

@@ -11,8 +11,8 @@ does not rescue the dead angle (see ``benchmarks/bench_ablation_sax_params.py``)
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.sax.breakpoints import MAX_ALPHABET, MIN_ALPHABET
 from repro.sax.encoder import SaxParameters

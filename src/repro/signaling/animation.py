@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.signaling.ring import AllRoundLightRing, RingMode
+from repro.signaling.ring import AllRoundLightRing
 
 __all__ = ["Keyframe", "AnimationScript", "RingAnimator"]
 

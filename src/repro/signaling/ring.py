@@ -15,7 +15,7 @@ remaining 140° tail arc — rotated so the arcs stay aligned with the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
 
 from repro.geometry.rotation import degrees_difference, wrap_degrees

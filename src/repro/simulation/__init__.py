@@ -6,6 +6,21 @@ test vehicle (see DESIGN.md, substitution table).
 """
 
 from repro.simulation.battery import HOVER_POWER_W, Battery, BatteryDepleted
+from repro.simulation.scenarios import (
+    BREEZE,
+    CALM,
+    DUSK,
+    GUSTY,
+    NOON,
+    OVERCAST,
+    Lighting,
+    Scenario,
+    ScenarioOutcome,
+    WindCondition,
+    run_dynamic_matrix,
+    run_static_matrix,
+    scenario_matrix,
+)
 from repro.simulation.body import BodyLimits, BodyState, MultirotorBody
 from repro.simulation.clock import SimClock
 from repro.simulation.events import EventLog, EventQueue, SimEvent
@@ -14,6 +29,19 @@ from repro.simulation.wind import CalmWind, GustEpisode, WindModel
 from repro.simulation.world import Entity, StaticObstacle, World
 
 __all__ = [
+    "BREEZE",
+    "CALM",
+    "DUSK",
+    "GUSTY",
+    "NOON",
+    "OVERCAST",
+    "Lighting",
+    "Scenario",
+    "ScenarioOutcome",
+    "WindCondition",
+    "run_dynamic_matrix",
+    "run_static_matrix",
+    "scenario_matrix",
     "HOVER_POWER_W",
     "Battery",
     "BatteryDepleted",

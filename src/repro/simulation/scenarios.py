@@ -1,0 +1,419 @@
+"""Scenario-matrix harness: persona × sign × viewpoint × wind × lighting.
+
+The ROADMAP's north star asks the system to handle "as many scenarios
+as you can imagine"; this module makes that space *enumerable*.  A
+:class:`Scenario` fixes one point in the matrix — who is signalling
+(persona, with its posture sloppiness), what they signal (a static
+:class:`~repro.human.signs.MarshallingSign` or a periodic
+:class:`~repro.human.dynamic.DynamicSign`), from where the drone looks
+(altitude / distance / azimuth), how hard the wind sways the signaller,
+and the lighting (contrast + sensor noise).  :func:`scenario_matrix`
+enumerates the cross product, :meth:`Scenario.render_window` renders a
+deterministic observation window, and the two drivers
+(:func:`run_static_matrix`, :func:`run_dynamic_matrix`) push whole
+windows through the *batched* recognisers —
+:meth:`~repro.recognition.pipeline.SaxSignRecognizer.recognize_batch`
+and
+:meth:`~repro.recognition.dynamic.DynamicSignRecognizer.recognize_window`
+— so every scenario sweep doubles as a batch-vs-scalar parity surface.
+
+Determinism
+-----------
+Everything is a pure function of the scenario parameters and the frame
+timestamp: wind sway is a sinusoid (not the stochastic
+:class:`~repro.simulation.wind.WindModel`, which
+:meth:`WindCondition.wind_model` still exposes for flight-dynamics
+tests), renders are cached by exact pose phase, and the persona
+contributes its worst-case ``max_lean_deg`` rather than a sampled lean.
+Repeated poses therefore yield the *same* ``Image`` object, which the
+batched front-end's identity memoisation exploits — exactly the
+repeated-frame structure a periodic signal sampled commensurately with
+its period produces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.camera import PinholeCamera, observation_camera
+from repro.human.dynamic import BUILTIN_DYNAMIC_SIGNS, DynamicSign
+from repro.human.persona import SUPERVISOR, VISITOR, WORKER, Persona
+from repro.human.pose import HumanPose, pose_for_sign
+from repro.human.render import RenderSettings, render_frame
+from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
+from repro.recognition.dynamic import DynamicSignRecognizer
+from repro.recognition.pipeline import SaxSignRecognizer, observation_elevation_deg
+from repro.simulation.wind import WindModel
+from repro.vision.image import Image
+
+__all__ = [
+    "Lighting",
+    "WindCondition",
+    "Scenario",
+    "ScenarioOutcome",
+    "NOON",
+    "OVERCAST",
+    "DUSK",
+    "CALM",
+    "BREEZE",
+    "GUSTY",
+    "DEFAULT_PERSONAS",
+    "DEFAULT_VIEWPOINTS",
+    "DEFAULT_AZIMUTHS_DEG",
+    "DEFAULT_WINDS",
+    "DEFAULT_LIGHTINGS",
+    "scenario_matrix",
+    "run_static_matrix",
+    "run_dynamic_matrix",
+]
+
+# Degrees of signaller sway per m/s of wind, and its cap: a stiff
+# breeze rocks a standing person a few degrees, it does not fold them.
+_SWAY_DEG_PER_MPS = 0.8
+_MAX_SWAY_DEG = 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class Lighting:
+    """One lighting condition: scene contrast plus sensor noise."""
+
+    name: str
+    background_intensity: float
+    figure_intensity: float
+    noise_sigma: float
+
+    def render_settings(self) -> RenderSettings:
+        """The :class:`~repro.human.render.RenderSettings` equivalent."""
+        return RenderSettings(
+            background_intensity=self.background_intensity,
+            figure_intensity=self.figure_intensity,
+            noise_sigma=self.noise_sigma,
+        )
+
+
+NOON = Lighting("noon", background_intensity=0.85, figure_intensity=0.15, noise_sigma=0.02)
+OVERCAST = Lighting("overcast", background_intensity=0.70, figure_intensity=0.22, noise_sigma=0.03)
+DUSK = Lighting("dusk", background_intensity=0.55, figure_intensity=0.18, noise_sigma=0.045)
+
+
+@dataclass(frozen=True, slots=True)
+class WindCondition:
+    """Wind strength, deterministically mapped onto signaller sway.
+
+    The scenario harness needs wind that is reproducible frame by
+    frame, so the effect on the *signaller* is a sinusoidal lateral
+    sway whose amplitude grows with wind speed; the stochastic
+    :class:`~repro.simulation.wind.WindModel` stays available through
+    :meth:`wind_model` for the flight-dynamics side of a scenario.
+    """
+
+    name: str
+    speed_mps: float
+    sway_period_s: float = 2.4
+
+    @property
+    def sway_amplitude_deg(self) -> float:
+        """Peak lateral lean the wind adds to the signaller's posture."""
+        return min(self.speed_mps * _SWAY_DEG_PER_MPS, _MAX_SWAY_DEG)
+
+    def sway_phase(self, time_s: float) -> float:
+        """Sway cycle phase in ``[0, 1)`` at *time_s* (exact for exact inputs)."""
+        return math.fmod(time_s, self.sway_period_s) / self.sway_period_s
+
+    def lean_at(self, time_s: float, base_lean_deg: float = 0.0) -> float:
+        """Total signaller lean at *time_s*: persona posture + wind sway."""
+        sway = self.sway_amplitude_deg * math.sin(2.0 * math.pi * self.sway_phase(time_s))
+        return base_lean_deg + sway
+
+    def wind_model(self, seed: int = 0) -> WindModel:
+        """A stochastic :class:`~repro.simulation.wind.WindModel` of this strength."""
+        return WindModel(
+            mean_speed_mps=self.speed_mps,
+            turbulence=0.2 * self.speed_mps,
+            gust_rate_per_min=0.5 * self.speed_mps,
+            gust_speed_mps=max(self.speed_mps, 0.5),
+            seed=seed,
+        )
+
+
+CALM = WindCondition("calm", speed_mps=0.0)
+BREEZE = WindCondition("breeze", speed_mps=3.0)
+GUSTY = WindCondition("gusty", speed_mps=7.0)
+
+DEFAULT_PERSONAS = (SUPERVISOR, WORKER, VISITOR)
+DEFAULT_VIEWPOINTS = ((3.0, 3.0), (5.0, 3.0))  # (altitude_m, distance_m)
+DEFAULT_AZIMUTHS_DEG = (0.0, 30.0)
+DEFAULT_WINDS = (CALM, BREEZE, GUSTY)
+DEFAULT_LIGHTINGS = (NOON, OVERCAST, DUSK)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the scenario matrix.
+
+    ``sign`` is either a static :class:`~repro.human.signs.MarshallingSign`
+    or a :class:`~repro.human.dynamic.DynamicSign`; everything else
+    parameterises who signals it, from where it is observed and under
+    which conditions.
+    """
+
+    persona: Persona
+    sign: MarshallingSign | DynamicSign
+    altitude_m: float
+    distance_m: float
+    azimuth_deg: float
+    wind: WindCondition
+    lighting: Lighting
+
+    @property
+    def is_dynamic(self) -> bool:
+        """``True`` when the signalled sign is periodic."""
+        return isinstance(self.sign, DynamicSign)
+
+    @property
+    def expected_label(self) -> str:
+        """The label a perfect recogniser should report."""
+        return self.sign.name if self.is_dynamic else self.sign.value
+
+    @property
+    def name(self) -> str:
+        """Compact human-readable scenario id (used in test reports)."""
+        return (
+            f"{self.persona.training.value}/{self.expected_label}"
+            f"@{self.altitude_m:g}m/{self.azimuth_deg:g}deg"
+            f"/{self.wind.name}/{self.lighting.name}"
+        )
+
+    @property
+    def elevation_deg(self) -> float:
+        """The drone's observation elevation for this viewpoint."""
+        return observation_elevation_deg(self.altitude_m, self.distance_m)
+
+    def camera(self) -> PinholeCamera:
+        """The observing camera for this viewpoint."""
+        return observation_camera(self.altitude_m, self.distance_m, self.azimuth_deg)
+
+    def lean_at(self, time_s: float) -> float:
+        """Signaller lean at *time_s*: persona sloppiness + wind sway."""
+        return self.wind.lean_at(time_s, base_lean_deg=self.persona.max_lean_deg)
+
+    def pose_at(self, time_s: float) -> HumanPose:
+        """The signaller's skeleton at *time_s*."""
+        lean = self.lean_at(time_s)
+        if self.is_dynamic:
+            return self.sign.pose_at(time_s, lean_deg=lean)
+        return pose_for_sign(self.sign, lean_deg=lean)
+
+    def frame_at(self, time_s: float) -> Image:
+        """Render one observation frame at *time_s* (uncached)."""
+        return render_frame(self.pose_at(time_s), self.camera(), self.lighting.render_settings())
+
+    def pose_repeat_frames(self, sample_hz: float) -> int | None:
+        """Samples after which the pose sequence repeats, or ``None``.
+
+        The pose at sample *k* is periodic in the signal period (for
+        dynamic signs) and the sway period (when the wind actually
+        sways); when every active period is a whole number of samples,
+        the sequence repeats after their least common multiple.  An
+        incommensurate sample rate returns ``None`` — no repetition
+        inside any window.
+        """
+        periods = []
+        if self.is_dynamic:
+            periods.append(self.sign.period_s)
+        if self.wind.sway_amplitude_deg > 0:
+            periods.append(self.wind.sway_period_s)
+        counts = []
+        for period in periods:
+            samples = period * sample_hz
+            if abs(samples - round(samples)) > 1e-9 or round(samples) < 1:
+                return None
+            counts.append(round(samples))
+        return math.lcm(*counts) if counts else 1
+
+    def render_window(
+        self, duration_s: float, sample_hz: float
+    ) -> tuple[list[Image], list[float]]:
+        """Render a ``duration_s`` observation window sampled at *sample_hz*.
+
+        Returns ``(frames, times)``.  When the sample rate is
+        commensurate with the active periods
+        (:meth:`pose_repeat_frames`), repeating samples share one
+        rendered ``Image`` object — rendering is deterministic, so the
+        repeat is pixel-exact — which downstream batch recognisers
+        deduplicate by identity.
+        """
+        if duration_s <= 0 or sample_hz <= 0:
+            raise ValueError("duration and sample rate must be positive")
+        camera = self.camera()
+        settings = self.lighting.render_settings()
+        repeat = self.pose_repeat_frames(sample_hz)
+        times = [k / sample_hz for k in range(int(duration_s * sample_hz))]
+        cache: dict[int, Image] = {}
+        frames = []
+        for k, t in enumerate(times):
+            key = k % repeat if repeat is not None else k
+            frame = cache.get(key)
+            if frame is None:
+                frame = cache[key] = render_frame(self.pose_at(t), camera, settings)
+            frames.append(frame)
+        return frames, times
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What a recogniser reported for one scenario window.
+
+    ``safe`` is the paper's safety property: every readable frame (or
+    the decoded dynamic verdict) was either the expected sign or a
+    rejection — never a confident read of a *different* communicative
+    sign.
+    """
+
+    scenario: Scenario
+    observed: str | None
+    frame_labels: tuple[str | None, ...]
+    correct: bool
+    safe: bool
+
+
+def scenario_matrix(
+    personas: Sequence[Persona] = DEFAULT_PERSONAS,
+    signs: Sequence[MarshallingSign | DynamicSign] = tuple(COMMUNICATIVE_SIGNS)
+    + tuple(BUILTIN_DYNAMIC_SIGNS),
+    viewpoints: Sequence[tuple[float, float]] = DEFAULT_VIEWPOINTS,
+    azimuths_deg: Sequence[float] = DEFAULT_AZIMUTHS_DEG,
+    winds: Sequence[WindCondition] = DEFAULT_WINDS,
+    lightings: Sequence[Lighting] = DEFAULT_LIGHTINGS,
+) -> list[Scenario]:
+    """Enumerate the cross product of every axis as a scenario list.
+
+    All axes default to the full built-in matrix (540 scenarios); pass
+    narrower sequences to carve out a slice — tests and CI smoke runs
+    use small slices, the accuracy sweeps larger ones.
+    """
+    return [
+        Scenario(
+            persona=persona,
+            sign=sign,
+            altitude_m=altitude,
+            distance_m=distance,
+            azimuth_deg=azimuth,
+            wind=wind,
+            lighting=lighting,
+        )
+        for persona in personas
+        for sign in signs
+        for (altitude, distance) in viewpoints
+        for azimuth in azimuths_deg
+        for wind in winds
+        for lighting in lightings
+    ]
+
+
+def _static_outcome(
+    scenario: Scenario, labels: list[str | None]
+) -> ScenarioOutcome:
+    """Fold per-frame labels of one static-scenario window into an outcome."""
+    expected = scenario.expected_label
+    readable = [label for label in labels if label is not None]
+    observed = None
+    if readable:
+        # Majority label over the window; ties keep first occurrence.
+        counts: dict[str, int] = {}
+        for label in readable:
+            counts[label] = counts.get(label, 0) + 1
+        observed = max(counts, key=lambda label: counts[label])
+    communicative = {sign.value for sign in COMMUNICATIVE_SIGNS}
+    return ScenarioOutcome(
+        scenario=scenario,
+        observed=observed,
+        frame_labels=tuple(labels),
+        correct=observed == expected,
+        safe=all(
+            label == expected or label not in communicative for label in readable
+        ),
+    )
+
+
+def run_static_matrix(
+    recognizer: SaxSignRecognizer,
+    scenarios: Sequence[Scenario],
+    duration_s: float = 1.0,
+    sample_hz: float = 4.0,
+) -> list[ScenarioOutcome]:
+    """Drive the *batched* static recogniser over static scenarios.
+
+    Every scenario's window is rendered, then **all** frames of all
+    scenarios flow through one
+    :meth:`~repro.recognition.pipeline.SaxSignRecognizer.recognize_batch`
+    call with per-frame elevations — the whole sweep is a single batch.
+
+    Raises
+    ------
+    ValueError
+        If any scenario in *scenarios* is dynamic.
+    """
+    for scenario in scenarios:
+        if scenario.is_dynamic:
+            raise ValueError(f"dynamic scenario {scenario.name!r} in static sweep")
+    frames: list[Image] = []
+    elevations: list[float] = []
+    spans: list[tuple[Scenario, int, int]] = []
+    for scenario in scenarios:
+        window, _ = scenario.render_window(duration_s, sample_hz)
+        spans.append((scenario, len(frames), len(frames) + len(window)))
+        frames.extend(window)
+        elevations.extend([scenario.elevation_deg] * len(window))
+    results = recognizer.recognize_batch(frames, elevation_deg=elevations)
+    return [
+        _static_outcome(scenario, [r.label for r in results[start:stop]])
+        for scenario, start, stop in spans
+    ]
+
+
+def run_dynamic_matrix(
+    recognizer: DynamicSignRecognizer,
+    scenarios: Sequence[Scenario],
+    periods: float = 3.0,
+    sample_hz: float = 10.0,
+) -> list[ScenarioOutcome]:
+    """Drive the batched dynamic engine over dynamic scenarios.
+
+    Each scenario's window (``periods`` signal periods at *sample_hz*)
+    goes through one
+    :meth:`~repro.recognition.dynamic.DynamicSignRecognizer.recognize_window`
+    call — the vectorised front-end plus one batched matcher pass per
+    window.
+
+    Raises
+    ------
+    ValueError
+        If any scenario in *scenarios* is static.
+    """
+    outcomes = []
+    for scenario in scenarios:
+        if not scenario.is_dynamic:
+            raise ValueError(f"static scenario {scenario.name!r} in dynamic sweep")
+        frames, times = scenario.render_window(
+            periods * scenario.sign.period_s, sample_hz
+        )
+        recognition = recognizer.recognize_window(
+            frames, times, elevation_deg=scenario.elevation_deg
+        )
+        expected = scenario.expected_label
+        observed = recognition.sign_name
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                observed=observed,
+                frame_labels=tuple(o.label for o in recognition.observations),
+                correct=observed == expected,
+                # recognize_window only ever reports enrolled sign names,
+                # so anything other than the expected sign is unsafe.
+                safe=observed in (None, expected),
+            )
+        )
+    return outcomes

@@ -9,7 +9,6 @@ low-cost GPS/IMU figures; tests can zero them for determinism.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 

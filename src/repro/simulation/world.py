@@ -8,8 +8,8 @@ world loop ignorant of their internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.geometry.vec import Vec2, Vec3
 from repro.simulation.clock import SimClock

@@ -13,7 +13,7 @@ it — the artefact a certification argument starts from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.human.persona import TrainingLevel

@@ -1,7 +1,5 @@
 """Tests for the CollaborativeEnvironment facade."""
 
-import pytest
-
 from repro import CollaborativeEnvironment
 from repro.mission import OrchardConfig
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.human import (
     BUILTIN_DYNAMIC_SIGNS,
-    MOVE_UPWARD,
     WAVE_OFF,
     ArmAngles,
     DynamicSign,

@@ -1,7 +1,5 @@
 """Tests for the articulated signaller skeleton."""
 
-import math
-
 import pytest
 
 from repro.geometry import Vec3

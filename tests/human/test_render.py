@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry import CameraIntrinsics, PinholeCamera, Vec3, observation_camera
+from repro.geometry import PinholeCamera, Vec3, observation_camera
 from repro.human import (
     MarshallingSign,
     RenderSettings,

@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.drone import DroneAgent, PatternKind, TakeOffPattern
+from repro.drone import DroneAgent, TakeOffPattern
 from repro.geometry import Vec2
-from repro.human import SUPERVISOR, VISITOR, WORKER, HumanAgent, Persona, TrainingLevel
+from repro.human import SUPERVISOR, VISITOR, HumanAgent, Persona, TrainingLevel
 from repro.protocol import (
     NegotiationConfig,
     NegotiationController,
     NegotiationState,
-    OraclePerception,
 )
 from repro.simulation import World
 

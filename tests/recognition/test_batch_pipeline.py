@@ -5,7 +5,6 @@ Acceptance gate for the batched engine: for every communicative sign
 the label, distance and margin of the scalar per-frame path.
 """
 
-import numpy as np
 import pytest
 
 from repro.geometry import observation_camera

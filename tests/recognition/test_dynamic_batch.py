@@ -1,0 +1,223 @@
+"""Streaming dynamic-sign engine: batch/stream parity and edge cases.
+
+The scalar path (``classify_frame`` per frame + ``decode``) is the
+reference; everything here checks that the batched window and chunked
+stream paths reproduce it bit-identically, including the awkward
+windows: empty, shorter than a keyframe cycle, and riddled with
+unreadable frames mid-cycle.
+"""
+
+import pytest
+
+from repro.geometry import observation_camera
+from repro.human import MOVE_UPWARD, WAVE_OFF, RenderSettings, render_frame
+from repro.recognition import (
+    DynamicObservation,
+    DynamicSignRecognizer,
+    DynamicWindowDecoder,
+)
+from repro.recognition.pipeline import observation_elevation_deg
+from repro.vision import Image
+
+CAMERA = observation_camera(5.0, 3.0, 0.0)
+ELEVATION = observation_elevation_deg(5.0, 3.0)
+SETTINGS = RenderSettings(noise_sigma=0.02)
+HZ = 8.0
+
+
+@pytest.fixture(scope="module")
+def recognizer() -> DynamicSignRecognizer:
+    rec = DynamicSignRecognizer()
+    rec.enroll(WAVE_OFF)
+    rec.enroll(MOVE_UPWARD)
+    return rec
+
+
+def window_for(sign, frame_count, hz=HZ):
+    frames = [render_frame(sign.pose_at(k / hz), CAMERA, SETTINGS) for k in range(frame_count)]
+    times = [k / hz for k in range(frame_count)]
+    return frames, times
+
+
+def scalar_reference(recognizer, frames, times):
+    observations = [
+        recognizer.classify_frame(frame, t, ELEVATION)
+        for frame, t in zip(frames, times)
+    ]
+    return recognizer.decode(observations)
+
+
+class TestWindowParity:
+    def test_labels_bit_identical_to_scalar(self, recognizer):
+        frames, times = window_for(WAVE_OFF, 40)
+        scalar = scalar_reference(recognizer, frames, times)
+        batched = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        assert batched.observations == scalar.observations
+        assert (batched.sign_name, batched.cycles_seen) == (
+            scalar.sign_name,
+            scalar.cycles_seen,
+        )
+        assert batched.sign_name == "wave_off"
+
+    def test_move_upward_window(self, recognizer):
+        frames, times = window_for(MOVE_UPWARD, 48)
+        scalar = scalar_reference(recognizer, frames, times)
+        batched = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        assert batched.observations == scalar.observations
+        assert batched.sign_name == "move_upward"
+
+    def test_window_budget_substages(self, recognizer):
+        frames, times = window_for(WAVE_OFF, 16)
+        result = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        stages = {timing.stage for timing in result.budget.stages}
+        assert {"preprocess", "sax_match", "decode"} <= stages
+        assert "preprocess.threshold" in stages  # dotted vision sub-stages
+        assert result.budget.frame_count == 16
+
+    def test_sample_hz_timestamps(self, recognizer):
+        frames, _ = window_for(WAVE_OFF, 8)
+        result = recognizer.recognize_window(frames, sample_hz=HZ, elevation_deg=ELEVATION)
+        assert [o.time_s for o in result.observations] == [k / HZ for k in range(8)]
+
+    def test_mismatched_times_rejected(self, recognizer):
+        frames, _ = window_for(WAVE_OFF, 4)
+        with pytest.raises(ValueError):
+            recognizer.recognize_window(frames, times=[0.0, 1.0], elevation_deg=ELEVATION)
+
+
+class TestEdgeCases:
+    def test_empty_window(self, recognizer):
+        result = recognizer.recognize_window([], elevation_deg=ELEVATION)
+        assert not result.recognised
+        assert result.cycles_seen == 0
+        assert result.observations == ()
+        assert result.budget is not None
+
+    def test_window_shorter_than_keyframe_cycle(self, recognizer):
+        # A quarter wave-off period: the pose never leaves keyframe #0,
+        # so no full label cycle can exist, let alone min_cycles of them.
+        frames, times = window_for(WAVE_OFF, int(0.25 * WAVE_OFF.period_s * HZ))
+        scalar = scalar_reference(recognizer, frames, times)
+        batched = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        assert batched.observations == scalar.observations
+        assert not batched.recognised
+        assert batched.cycles_seen == 0
+
+    def test_unreadable_runs_mid_cycle(self, recognizer):
+        # Blank out a run of frames inside each cycle; the None labels
+        # must match the scalar path and must not break the decode.
+        frames, times = window_for(WAVE_OFF, 64)
+        blank = Image.full(frames[0].shape[0], frames[0].shape[1], 0.85)
+        frames = [
+            blank if k % 8 in (3, 4) else frame for k, frame in enumerate(frames)
+        ]
+        scalar = scalar_reference(recognizer, frames, times)
+        batched = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        assert batched.observations == scalar.observations
+        assert any(o.label is None for o in batched.observations)
+        assert batched.sign_name == "wave_off"
+
+    def test_all_unreadable_window(self, recognizer):
+        blank = Image.full(240, 240, 0.85)
+        result = recognizer.recognize_window([blank] * 6, elevation_deg=ELEVATION)
+        assert [o.label for o in result.observations] == [None] * 6
+        assert not result.recognised
+
+
+class TestChunkedDecode:
+    @pytest.mark.parametrize("chunk", [1, 5, 8, 17, 64])
+    def test_chunked_stream_equals_whole_window(self, recognizer, chunk):
+        frames, times = window_for(WAVE_OFF, 64)
+        whole = recognizer.recognize_window(frames, times, elevation_deg=ELEVATION)
+        stream = recognizer.open_stream(elevation_deg=ELEVATION)
+        result = None
+        for start in range(0, len(frames), chunk):
+            result = stream.feed(frames[start : start + chunk], times[start : start + chunk])
+        assert result.observations == whole.observations
+        assert (result.sign_name, result.cycles_seen) == (
+            whole.sign_name,
+            whole.cycles_seen,
+        )
+        assert stream.frames_fed == 64
+
+    def test_stream_memo_reuses_repeated_frames(self, recognizer):
+        # The same frame objects fed again classify from the memo and
+        # still produce scalar-identical labels.
+        frames, times = window_for(WAVE_OFF, 16)
+        stream = recognizer.open_stream(elevation_deg=ELEVATION, sample_hz=HZ)
+        first = stream.feed(frames)
+        again = stream.feed(frames)  # same objects, stream clock advances
+        scalar_labels = [
+            recognizer.classify_frame(f, t, ELEVATION).label
+            for f, t in zip(frames, times)
+        ]
+        assert [o.label for o in first.observations] == scalar_labels
+        assert [o.label for o in again.observations[16:]] == scalar_labels
+        assert [o.time_s for o in again.observations[16:]] == [
+            (16 + k) / HZ for k in range(16)
+        ]
+
+    def test_decode_stream_matches_decode(self, recognizer):
+        labels = (
+            ["wave_off#0", "wave_off#1", None, "move_upward#0"] * 6
+            + ["wave_off#0", "wave_off#1"]
+        )
+        observations = [
+            DynamicObservation(time_s=float(k), label=label)
+            for k, label in enumerate(labels)
+        ]
+        whole = recognizer.decode(observations)
+        chunked = recognizer.decode_stream(
+            [observations[:7], observations[7:9], [], observations[9:]]
+        )
+        assert (chunked.sign_name, chunked.cycles_seen) == (
+            whole.sign_name,
+            whole.cycles_seen,
+        )
+        assert chunked.observations == whole.observations
+
+    def test_incremental_decoder_midway_verdicts(self, recognizer):
+        decoder = recognizer.decoder()
+        cycle = ["wave_off#0", "wave_off#1"]
+        for repeat in range(1, 4):
+            decoder.extend(
+                DynamicObservation(time_s=float(repeat), label=label) for label in cycle
+            )
+            expected_prefix = [
+                DynamicObservation(time_s=float(r), label=label)
+                for r in range(1, repeat + 1)
+                for label in cycle
+            ]
+            verdict = decoder.result()
+            assert verdict.cycles_seen == repeat
+            assert verdict.recognised == (repeat >= recognizer.min_cycles)
+            assert list(verdict.observations) == expected_prefix
+
+    def test_decoder_rejects_bad_min_cycles(self):
+        with pytest.raises(ValueError):
+            DynamicWindowDecoder({}, min_cycles=0)
+
+
+class TestBatchedEnrolment:
+    def test_enrolment_matches_reference_database(self, recognizer):
+        # Batched enrolment must fill the database exactly like the
+        # scalar per-frame path (same labels, same SAX words).
+        reference = DynamicSignRecognizer()
+        for sign in (WAVE_OFF, MOVE_UPWARD):
+            from repro.recognition.pipeline import observation_elevation_deg as _el
+            from repro.recognition.preprocess import preprocess_frame
+
+            elevation = _el(5.0, 3.0)
+            for index in range(sign.n_keyframes):
+                for azimuth in (0.0, 30.0):
+                    camera = observation_camera(5.0, 3.0, azimuth)
+                    frame = render_frame(
+                        sign.keyframe_pose(index), camera, RenderSettings(noise_sigma=0.0)
+                    )
+                    result = preprocess_frame(
+                        frame, reference.preprocess_settings, elevation_deg=elevation
+                    )
+                    reference.database.add(
+                        f"{sign.name}#{index}", result.series, view=f"az{azimuth:.0f}"
+                    )
+        assert recognizer.database.word_table() == reference.database.word_table()

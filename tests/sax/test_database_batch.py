@@ -9,7 +9,7 @@ stay coherent through ``add``/``remove`` mutations.
 import numpy as np
 import pytest
 
-from repro.sax import MatchResult, SaxParameters, SignDatabase
+from repro.sax import SaxParameters, SignDatabase
 
 
 def wave(freq: float, n: int = 128, phase: float = 0.0) -> np.ndarray:

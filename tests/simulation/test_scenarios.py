@@ -1,0 +1,203 @@
+"""Scenario-matrix harness: enumeration, rendering, and accuracy sweeps.
+
+The sweeps here run narrow slices of the matrix (the full 540-scenario
+cross product takes minutes); the slices still cross every axis at
+least once, and the batch-vs-scalar parity check runs per frame on top
+of the accuracy assertions.
+"""
+
+import pytest
+
+from repro.human import MOVE_UPWARD, WAVE_OFF, MarshallingSign
+from repro.human.dynamic import BUILTIN_DYNAMIC_SIGNS
+from repro.human.persona import SUPERVISOR, VISITOR, WORKER
+from repro.recognition import DynamicSignRecognizer, SaxSignRecognizer
+from repro.simulation.scenarios import (
+    BREEZE,
+    CALM,
+    DEFAULT_LIGHTINGS,
+    DEFAULT_PERSONAS,
+    DEFAULT_WINDS,
+    DUSK,
+    GUSTY,
+    NOON,
+    OVERCAST,
+    Scenario,
+    run_dynamic_matrix,
+    run_static_matrix,
+    scenario_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def static_recognizer() -> SaxSignRecognizer:
+    rec = SaxSignRecognizer()
+    rec.enroll_canonical_views()
+    return rec
+
+
+@pytest.fixture(scope="module")
+def dynamic_recognizer() -> DynamicSignRecognizer:
+    rec = DynamicSignRecognizer()
+    rec.enroll(WAVE_OFF)
+    rec.enroll(MOVE_UPWARD)
+    return rec
+
+
+class TestMatrix:
+    def test_full_matrix_size(self):
+        # 3 personas x (3 static + 2 dynamic) signs x 2 viewpoints
+        # x 2 azimuths x 3 winds x 3 lightings
+        assert len(scenario_matrix()) == 3 * 5 * 2 * 2 * 3 * 3
+
+    def test_axes_are_narrowable(self):
+        slice_ = scenario_matrix(
+            personas=(SUPERVISOR,),
+            signs=(MarshallingSign.YES,),
+            viewpoints=((5.0, 3.0),),
+            azimuths_deg=(0.0,),
+            winds=(CALM, GUSTY),
+            lightings=(NOON,),
+        )
+        assert len(slice_) == 2
+        assert {s.wind.name for s in slice_} == {"calm", "gusty"}
+
+    def test_scenario_name_is_descriptive(self):
+        scenario = scenario_matrix(
+            personas=(VISITOR,), signs=(WAVE_OFF,), winds=(BREEZE,), lightings=(DUSK,)
+        )[0]
+        assert "wave_off" in scenario.name
+        assert "breeze" in scenario.name
+        assert "dusk" in scenario.name
+        assert scenario.is_dynamic
+
+
+class TestRendering:
+    def test_calm_static_window_renders_once(self):
+        scenario = Scenario(SUPERVISOR, MarshallingSign.YES, 5.0, 3.0, 0.0, CALM, NOON)
+        frames, times = scenario.render_window(2.0, 4.0)
+        assert len(frames) == 8 and len(times) == 8
+        assert all(frame is frames[0] for frame in frames)  # one distinct pose
+
+    def test_commensurate_dynamic_window_revisits_poses(self):
+        scenario = Scenario(SUPERVISOR, WAVE_OFF, 5.0, 3.0, 0.0, CALM, NOON)
+        assert scenario.pose_repeat_frames(10.0) == 16  # 1.6 s at 10 Hz
+        frames, _ = scenario.render_window(6.4, 10.0)
+        assert len(frames) == 64
+        assert len({id(frame) for frame in frames}) == 16
+        assert frames[0] is frames[16] is frames[32]
+
+    def test_incommensurate_rate_renders_every_frame(self):
+        scenario = Scenario(SUPERVISOR, WAVE_OFF, 5.0, 3.0, 0.0, CALM, NOON)
+        assert scenario.pose_repeat_frames(8.0) is None  # 12.8 samples/period
+        frames, _ = scenario.render_window(2.0, 8.0)
+        assert len({id(frame) for frame in frames}) == len(frames)
+
+    def test_sway_extends_repeat_to_lcm(self):
+        scenario = Scenario(SUPERVISOR, WAVE_OFF, 5.0, 3.0, 0.0, GUSTY, NOON)
+        # signal: 16 frames, sway: 24 frames at 10 Hz -> lcm 48
+        assert scenario.pose_repeat_frames(10.0) == 48
+
+    def test_wind_condition_maps_to_wind_model(self):
+        model = GUSTY.wind_model(seed=7)
+        assert model.mean_speed_mps == GUSTY.speed_mps
+        assert GUSTY.sway_amplitude_deg > BREEZE.sway_amplitude_deg == pytest.approx(2.4)
+        assert CALM.sway_amplitude_deg == 0.0
+
+    def test_lean_combines_persona_and_wind(self):
+        scenario = Scenario(VISITOR, MarshallingSign.NO, 5.0, 3.0, 0.0, GUSTY, NOON)
+        leans = {scenario.lean_at(k / 10.0) for k in range(24)}
+        assert len(leans) > 1  # sway moves the signaller
+        assert all(abs(lean - VISITOR.max_lean_deg) <= GUSTY.sway_amplitude_deg + 1e-9 for lean in leans)
+
+
+class TestStaticSweep:
+    def test_accuracy_and_safety_across_axes(self, static_recognizer):
+        # One static sign swept across every persona, wind and lighting.
+        scenarios = scenario_matrix(
+            signs=(MarshallingSign.NO,),
+            viewpoints=((5.0, 3.0),),
+            azimuths_deg=(0.0,),
+            personas=DEFAULT_PERSONAS,
+            winds=DEFAULT_WINDS,
+            lightings=DEFAULT_LIGHTINGS,
+        )
+        outcomes = run_static_matrix(static_recognizer, scenarios)
+        assert len(outcomes) == 27
+        assert all(outcome.safe for outcome in outcomes)
+        assert all(outcome.correct for outcome in outcomes)
+
+    def test_batch_equals_scalar_per_frame(self, static_recognizer):
+        scenarios = scenario_matrix(
+            personas=(WORKER,),
+            signs=(MarshallingSign.YES, MarshallingSign.ATTENTION),
+            viewpoints=((3.0, 3.0),),
+            azimuths_deg=(30.0,),
+            winds=(GUSTY,),
+            lightings=(DUSK,),
+        )
+        outcomes = run_static_matrix(static_recognizer, scenarios)
+        for outcome in outcomes:
+            frames, _ = outcome.scenario.render_window(1.0, 4.0)
+            scalar = [
+                static_recognizer.recognise(
+                    frame, elevation_deg=outcome.scenario.elevation_deg
+                ).label
+                for frame in frames
+            ]
+            assert list(outcome.frame_labels) == scalar
+
+    def test_dynamic_scenarios_rejected(self, static_recognizer):
+        with pytest.raises(ValueError):
+            run_static_matrix(static_recognizer, scenario_matrix(signs=(WAVE_OFF,))[:1])
+
+
+class TestDynamicSweep:
+    def test_accuracy_and_safety_across_axes(self, dynamic_recognizer):
+        scenarios = scenario_matrix(
+            signs=(WAVE_OFF,),
+            viewpoints=((5.0, 3.0),),
+            azimuths_deg=(0.0,),
+            personas=(SUPERVISOR, VISITOR),
+            winds=(CALM, GUSTY),
+            lightings=(NOON, DUSK),
+        )
+        outcomes = run_dynamic_matrix(dynamic_recognizer, scenarios)
+        assert len(outcomes) == 8
+        assert all(outcome.safe for outcome in outcomes)
+        assert all(outcome.correct for outcome in outcomes)
+
+    def test_window_equals_scalar_reference(self, dynamic_recognizer):
+        scenario = scenario_matrix(
+            personas=(WORKER,),
+            signs=(MOVE_UPWARD,),
+            viewpoints=((3.0, 3.0),),
+            azimuths_deg=(30.0,),
+            winds=(BREEZE,),
+            lightings=(OVERCAST,),
+        )[0]
+        frames, times = scenario.render_window(2.0 * MOVE_UPWARD.period_s, 10.0)
+        observations = [
+            dynamic_recognizer.classify_frame(frame, t, scenario.elevation_deg)
+            for frame, t in zip(frames, times)
+        ]
+        scalar = dynamic_recognizer.decode(observations)
+        batched = dynamic_recognizer.recognize_window(
+            frames, times, elevation_deg=scenario.elevation_deg
+        )
+        assert batched.observations == scalar.observations
+        assert (batched.sign_name, batched.cycles_seen) == (
+            scalar.sign_name,
+            scalar.cycles_seen,
+        )
+
+    def test_static_scenarios_rejected(self, dynamic_recognizer):
+        with pytest.raises(ValueError):
+            run_dynamic_matrix(
+                dynamic_recognizer, scenario_matrix(signs=(MarshallingSign.NO,))[:1]
+            )
+
+    def test_builtin_dynamic_signs_cover_matrix_default(self):
+        signs = {s.name for s in BUILTIN_DYNAMIC_SIGNS}
+        matrix_signs = {s.expected_label for s in scenario_matrix() if s.is_dynamic}
+        assert signs == matrix_signs
