@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Docs gate: the public API of ``repro.vision``, ``repro.recognition``,
-``repro.sax`` and ``repro.simulation`` must be documented.
+``repro.sax``, ``repro.simulation``, ``repro.mission`` and
+``repro.protocol`` must be documented.
 
 Checks, for every module in the covered packages:
 
@@ -25,7 +26,14 @@ import inspect
 import pkgutil
 import sys
 
-DEFAULT_PACKAGES = ("repro.vision", "repro.recognition", "repro.sax", "repro.simulation")
+DEFAULT_PACKAGES = (
+    "repro.vision",
+    "repro.recognition",
+    "repro.sax",
+    "repro.simulation",
+    "repro.mission",
+    "repro.protocol",
+)
 
 
 def iter_modules(package_name: str):

@@ -1,0 +1,114 @@
+"""Dependency-free line-coverage estimate for ``src/repro``.
+
+CI enforces coverage with ``pytest-cov`` (see ``make coverage`` and the
+workflow), but the offline development environment has no ``coverage``
+package — this script fills the gap with a ``sys.settrace`` tracer plus
+an AST statement counter, so the ``--cov-fail-under`` floor can be
+calibrated (and re-checked) without network access.
+
+Numbers track ``coverage.py`` closely but not exactly (docstrings,
+``TYPE_CHECKING`` blocks and multi-line statements are approximated),
+which is why the CI floor is set a few points below the measured value.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = str(REPO_ROOT / "src" / "repro")
+
+_executed: dict[str, set[int]] = {}
+
+
+def _make_local_tracer(lines: set[int]):
+    def local(frame, event, arg):
+        if event == "line":
+            lines.add(frame.f_lineno)
+        return local
+
+    return local
+
+
+def _global_tracer(frame, event, arg):
+    if event != "call":
+        return None
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC_ROOT):
+        return None
+    lines = _executed.setdefault(filename, set())
+    lines.add(frame.f_lineno)
+    return _make_local_tracer(lines)
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers of executable statements, coverage.py-style-ish.
+
+    Counts the first line of every statement node, skipping module /
+    class / function docstrings (they execute, but coverage.py does not
+    report them as statements).
+    """
+    tree = ast.parse(path.read_text())
+    lines: set[int] = set()
+    docstrings: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                docstrings.add(body[0].lineno)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.lineno not in docstrings:
+            lines.add(node.lineno)
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    sys.settrace(_global_tracer)
+    threading.settrace(_global_tracer)
+    try:
+        exit_code = pytest.main(["-q", *argv] if argv else ["-q"])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not reported")
+        return int(exit_code)
+
+    total_statements = 0
+    total_hit = 0
+    rows = []
+    for path in sorted(Path(SRC_ROOT).rglob("*.py")):
+        statements = executable_lines(path)
+        hit = _executed.get(str(path), set()) & statements
+        total_statements += len(statements)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(statements) if statements else 100.0
+        rows.append((str(path.relative_to(REPO_ROOT)), len(statements), len(hit), pct))
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"\n{'file':<{width}}  stmts   hit    cover")
+    for name, statements, hit, pct in rows:
+        print(f"{name:<{width}}  {statements:5d}  {hit:5d}  {pct:6.1f}%")
+    overall = 100.0 * total_hit / total_statements if total_statements else 100.0
+    print(f"\nTOTAL: {total_hit}/{total_statements} statements  {overall:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    os.chdir(REPO_ROOT)
+    raise SystemExit(main(sys.argv[1:]))

@@ -24,6 +24,7 @@ from repro.protocol.negotiation import (
     NegotiationOutcome,
 )
 from repro.protocol.perception import OraclePerception, Perception, SaxPerception
+from repro.protocol.recognizer import RecognizerPerception
 from repro.protocol.safety import SafetyLimits
 from repro.simulation.events import EventLog
 
@@ -58,6 +59,7 @@ class CollaborativeEnvironment:
         seed: int | None = None,
         use_full_recognition: bool = False,
         drone_home: Vec2 | None = None,
+        perception: str | Perception | None = None,
     ) -> "CollaborativeEnvironment":
         """Build a ready-to-run environment.
 
@@ -73,6 +75,13 @@ class CollaborativeEnvironment:
         drone_home:
             Where the drone starts and returns; defaults to just outside
             the first row.
+        perception:
+            Overrides ``use_full_recognition`` when given: ``"oracle"``,
+            ``"sax"`` (single-frame pipeline), ``"recognizer"`` (the
+            batched, envelope-gated
+            :class:`~repro.protocol.recognizer.RecognizerPerception`),
+            or any :class:`~repro.protocol.perception.Perception`
+            instance.
         """
         cfg = config if config is not None else OrchardConfig()
         if seed is not None:
@@ -93,13 +102,21 @@ class CollaborativeEnvironment:
         home = drone_home if drone_home is not None else Vec2(-6.0, -4.0)
         drone = DroneAgent("drone", position=home)
         orchard.world.add_entity(drone)
-        perception: Perception
-        if use_full_recognition:
-            perception = SaxPerception()
+        if perception is None:
+            perception = "sax" if use_full_recognition else "oracle"
+        chosen: Perception
+        if perception == "oracle":
+            chosen = OraclePerception()
+        elif perception == "sax":
+            chosen = SaxPerception()
+        elif perception == "recognizer":
+            chosen = RecognizerPerception()
+        elif isinstance(perception, str):
+            raise ValueError(f"unknown perception kind: {perception!r}")
         else:
-            perception = OraclePerception()
+            chosen = perception
         return CollaborativeEnvironment(
-            orchard=orchard, drone=drone, perception=perception
+            orchard=orchard, drone=drone, perception=chosen
         )
 
     @property

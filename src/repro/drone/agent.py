@@ -265,8 +265,17 @@ class DroneAgent:
     def _finish_pattern(self, world, execution: PatternExecution) -> None:
         execution.finished = True
         self._queue.pop(0)
-        self.follower.clear()
         kind = execution.pattern.kind
+        if kind is PatternKind.LANDING:
+            self.follower.clear()
+        else:
+            # Station-keep while idle: hold the pattern's end waypoint
+            # (position hold, like a real autopilot) instead of merely
+            # commanding zero velocity, which would let wind blow the
+            # hovering drone off the negotiation geometry.
+            targets = [s.target for s in execution.steps if s.target is not None]
+            station = targets[-1] if targets else self.state.position
+            self.follower.set_target(station)
         if kind is PatternKind.TAKE_OFF:
             self.modes.transition(DroneMode.HOVERING, world.now_s)
         elif kind is PatternKind.LANDING:

@@ -88,6 +88,11 @@ class HumanAgent:
         return self._current_sign
 
     @property
+    def current_lean_deg(self) -> float:
+        """The lateral lean of the current pose (persona sloppiness)."""
+        return self._current_lean_deg
+
+    @property
     def sign_history(self) -> list[tuple[float, MarshallingSign]]:
         """All ``(time, sign)`` transitions so far."""
         return list(self._sign_history)

@@ -6,6 +6,13 @@ trap.
 """
 
 from repro.mission.executor import MissionExecutor, MissionPhase, MissionReport
+from repro.mission.fleet import (
+    FleetMission,
+    FleetReport,
+    FleetScheduler,
+    build_fleet,
+    mission_transcript,
+)
 from repro.mission.flytrap import FlyTrap, TrapReading
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
 from repro.mission.planner import RoutePlan, plan_route, tour_length
@@ -15,6 +22,11 @@ __all__ = [
     "MapStyle",
     "render_map",
     "render_mission_summary",
+    "FleetMission",
+    "FleetReport",
+    "FleetScheduler",
+    "build_fleet",
+    "mission_transcript",
     "MissionExecutor",
     "MissionPhase",
     "MissionReport",

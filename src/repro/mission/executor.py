@@ -18,7 +18,11 @@ from repro.geometry.vec import Vec2, Vec3
 from repro.mission.flytrap import FlyTrap, TrapReading
 from repro.mission.orchard import Orchard
 from repro.mission.planner import plan_route
-from repro.protocol.negotiation import NegotiationController, NegotiationState
+from repro.protocol.negotiation import (
+    NegotiationConfig,
+    NegotiationController,
+    NegotiationState,
+)
 from repro.protocol.perception import OraclePerception, Perception
 from repro.protocol.safety import SafetyLimits, SafetyMonitor
 
@@ -80,11 +84,13 @@ class MissionExecutor:
         perception: Perception | None = None,
         home: Vec2 | None = None,
         safety_limits: SafetyLimits | None = None,
+        negotiation_config: NegotiationConfig | None = None,
     ) -> None:
         self.orchard = orchard
         self.drone = drone
         self.perception = perception if perception is not None else OraclePerception()
         self.home = home if home is not None else drone.state.position.horizontal()
+        self.negotiation_config = negotiation_config
         self.safety = SafetyMonitor(drone, safety_limits)
         self.phase = MissionPhase.IDLE
         self.report = MissionReport()
@@ -121,13 +127,25 @@ class MissionExecutor:
         return self.drone.state.position
 
     def update(self, world, dt: float) -> None:
-        """Advance the mission state machine one tick."""
+        """World-entity driver: delegates to the :meth:`tick` step API."""
+        self.tick(world)
+
+    # -- step API ---------------------------------------------------------------------
+
+    def tick(self, world) -> MissionPhase:
+        """Advance the mission state machine one non-blocking step.
+
+        Returns the phase after the step.  This is the unit a fleet
+        scheduler drives: one call performs at most one phase handler,
+        and any perception the step will need is predicted by
+        :meth:`pending_observation` so it can be batch-resolved first.
+        """
         if self.finished or self.phase is MissionPhase.IDLE:
-            return
+            return self.phase
         self.safety.check(world)
         if self.drone.modes.in_emergency:
             self._abort(world, "drone emergency")
-            return
+            return self.phase
 
         handler = {
             MissionPhase.TAKING_OFF: self._tick_taking_off,
@@ -140,6 +158,17 @@ class MissionExecutor:
             MissionPhase.LANDING: self._tick_landing,
         }[self.phase]
         handler(world)
+        return self.phase
+
+    def pending_observation(self, world):
+        """The perception query the next :meth:`tick` will issue, if any.
+
+        Delegates to the active negotiation (the only mission component
+        that observes); ``None`` in every other phase.
+        """
+        if self.phase is not MissionPhase.NEGOTIATING or self._negotiation is None:
+            return None
+        return self._negotiation.pending_observation(world)
 
     # -- phase handlers -------------------------------------------------------------------
 
@@ -180,7 +209,11 @@ class MissionExecutor:
             human = blockers[0]
             self.report.negotiations += 1
             self._negotiation = NegotiationController(
-                self.drone, human, perception=self.perception, name=f"nego_{self.report.negotiations}"
+                self.drone,
+                human,
+                perception=self.perception,
+                config=self.negotiation_config,
+                name=f"nego_{self.report.negotiations}",
             )
             self._negotiated_human_name = human.name
             self._negotiation.start(world)
@@ -191,7 +224,7 @@ class MissionExecutor:
 
     def _tick_negotiating(self, world) -> None:
         assert self._negotiation is not None
-        self._negotiation.update(world, world.clock.time_step_s)
+        self._negotiation.tick(world)
         if not self._negotiation.finished:
             return
         outcome = self._negotiation.outcome

@@ -1,0 +1,399 @@
+"""Fleet-scale mission engine: many missions, one batched perception.
+
+The single-mission path
+(:meth:`~repro.core.environment.CollaborativeEnvironment.run_mission`)
+registers the executor as a world entity and loops ``world.step()`` —
+one drone, one orchard, perception answered synchronously inside the
+loop.  A fleet of N such missions run that way costs N sequential
+per-frame recognitions.  This module restructures the mission layer as
+a *schedulable dataflow* instead:
+
+1. every mission's world advances one tick (entities only — the
+   executor is driven by the scheduler, not the world);
+2. each executor *predicts* the perception query its next step will
+   issue (:meth:`~repro.mission.executor.MissionExecutor.pending_observation`);
+3. all predicted queries across the fleet are resolved by **one**
+   batched recogniser pass
+   (:meth:`~repro.protocol.recognizer.RecognizerPerception.prefetch`);
+4. every executor steps (:meth:`~repro.mission.executor.MissionExecutor.tick`),
+   its ``observe`` calls answered from the just-filled cache.
+
+Because the prefetched answers are bit-identical to what a synchronous
+call would compute (same pose, same quantised camera, same batched
+kernels), a fleet run replays each mission *exactly* as a sequential
+run would — ``benchmarks/bench_fleet.py`` asserts this and gates the
+throughput win.
+
+Scenario diversity comes from :mod:`repro.simulation.scenarios`: each
+mission draws a wind condition (the stochastic flight-dynamics model of
+that strength) and a lighting condition (the photometric settings its
+perception renders under), on top of a per-mission orchard seed that
+varies layout, traps and personas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+from repro.drone.agent import DroneAgent
+from repro.geometry.vec import Vec2
+from repro.mission.executor import MissionExecutor, MissionReport
+from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
+from repro.protocol.negotiation import NegotiationConfig
+from repro.protocol.perception import OraclePerception, Perception
+from repro.protocol.recognizer import (
+    ObservationQuery,
+    PerceptionStats,
+    RecognizerPerception,
+)
+from repro.recognition.budget import BudgetReport
+from repro.simulation.scenarios import (
+    DEFAULT_LIGHTINGS,
+    DEFAULT_WINDS,
+    Lighting,
+    WindCondition,
+)
+
+__all__ = [
+    "FleetMission",
+    "FleetReport",
+    "FleetScheduler",
+    "build_fleet",
+    "mission_transcript",
+]
+
+DEFAULT_FLEET_TIMEOUT_S = 1800.0
+DEFAULT_DRONE_HOME = Vec2(-6.0, -4.0)
+
+
+@dataclass
+class FleetMission:
+    """One mission slot in a fleet: world, drone, executor, conditions."""
+
+    name: str
+    orchard: Orchard
+    drone: DroneAgent
+    executor: MissionExecutor
+    perception: Perception
+    wind: WindCondition | None = None
+    lighting: Lighting | None = None
+
+    @property
+    def world(self):
+        """The mission's simulation world."""
+        return self.orchard.world
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once this mission is done or aborted."""
+        return self.executor.finished
+
+    @property
+    def report(self) -> MissionReport:
+        """The mission report (meaningful once finished)."""
+        return self.executor.report
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of one fleet run."""
+
+    reports: dict[str, MissionReport]
+    ticks: int
+    sim_duration_s: float
+    perception_stats: PerceptionStats | None = None
+    perception_budget: BudgetReport | None = None
+
+    @property
+    def missions(self) -> int:
+        """Number of missions in the fleet."""
+        return len(self.reports)
+
+    @property
+    def traps_read(self) -> int:
+        """Total successful trap readings across the fleet."""
+        return sum(r.traps_read for r in self.reports.values())
+
+    @property
+    def negotiations(self) -> int:
+        """Total negotiation rounds across the fleet."""
+        return sum(r.negotiations for r in self.reports.values())
+
+    @property
+    def safety_events(self) -> int:
+        """Total safety violations across the fleet."""
+        return sum(r.safety_events for r in self.reports.values())
+
+
+class FleetScheduler:
+    """Steps N independent missions on a shared clock.
+
+    All mission worlds must share one fixed time step; the scheduler
+    keeps them in lockstep and, when the missions' perceptions are
+    :class:`~repro.protocol.recognizer.RecognizerPerception` views of a
+    shared core, resolves every mission's perception query for the tick
+    through a single batched recogniser call.
+
+    Parameters
+    ----------
+    missions:
+        The fleet.  Executors must not be registered as world entities
+        (the scheduler drives them; :func:`build_fleet` wires this).
+    batch_perception:
+        Aggregate per-tick perception queries into one batched prefetch
+        (set ``False`` to measure the unbatched scheduler).
+    """
+
+    def __init__(
+        self,
+        missions: Sequence[FleetMission],
+        batch_perception: bool = True,
+    ) -> None:
+        if not missions:
+            raise ValueError("a fleet needs at least one mission")
+        names = [m.name for m in missions]
+        if len(set(names)) != len(names):
+            raise ValueError("fleet mission names must be unique")
+        steps = {m.world.clock.time_step_s for m in missions}
+        if len(steps) != 1:
+            raise ValueError(f"fleet worlds must share one time step, got {steps}")
+        self.missions = list(missions)
+        self.batch_perception = batch_perception
+        self.time_step_s = steps.pop()
+        self._ticks = 0
+        self._started = False
+
+    # -- properties -------------------------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        """Completed fleet ticks."""
+        return self._ticks
+
+    @property
+    def now_s(self) -> float:
+        """Elapsed time on the shared clock."""
+        return self._ticks * self.time_step_s
+
+    @property
+    def finished(self) -> bool:
+        """``True`` once every mission is done or aborted."""
+        return all(m.finished for m in self.missions)
+
+    @property
+    def active_missions(self) -> list[FleetMission]:
+        """Missions still flying."""
+        return [m for m in self.missions if not m.finished]
+
+    # -- control ----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Plan and launch every mission."""
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._started = True
+        for mission in self.missions:
+            mission.executor.start(mission.world)
+
+    def tick(self) -> int:
+        """Advance the whole fleet by one shared-clock step.
+
+        Worlds step first (drones, humans, traps, wind), then all
+        missions' predicted perception queries are batch-resolved, then
+        every executor steps.  Returns the number of still-active
+        missions.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before tick()")
+        active = self.active_missions
+        for mission in active:
+            mission.world.step()
+        if self.batch_perception:
+            self._prefetch(active)
+        for mission in active:
+            mission.executor.tick(mission.world)
+        self._ticks += 1
+        return len(self.active_missions)
+
+    def run(self, timeout_s: float = DEFAULT_FLEET_TIMEOUT_S) -> FleetReport:
+        """Run the fleet to completion and return the fleet report.
+
+        Raises
+        ------
+        TimeoutError
+            If any mission is still flying after *timeout_s* simulated
+            seconds on the shared clock.
+        """
+        if not self._started:
+            self.start()
+        deadline = self.now_s + timeout_s
+        while not self.finished:
+            if self.now_s >= deadline:
+                stuck = [m.name for m in self.active_missions]
+                raise TimeoutError(
+                    f"fleet missions {stuck} did not finish within {timeout_s} s"
+                )
+            self.tick()
+        return self.report()
+
+    def report(self) -> FleetReport:
+        """Summarise the fleet's current state.
+
+        Perception stats/budget are read from the first
+        :class:`RecognizerPerception` found — fleet-wide totals under
+        the :func:`build_fleet` wiring, where every mission is a view
+        of one shared core.  A hand-built fleet mixing *distinct*
+        perception cores gets the first core's counters only.
+        """
+        stats = None
+        budget = None
+        for mission in self.missions:
+            if isinstance(mission.perception, RecognizerPerception):
+                stats = mission.perception.stats
+                budget = mission.perception.budget_report()
+                break
+        return FleetReport(
+            reports={m.name: m.report for m in self.missions},
+            ticks=self._ticks,
+            sim_duration_s=self.now_s,
+            perception_stats=stats,
+            perception_budget=budget,
+        )
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _prefetch(self, active: Sequence[FleetMission]) -> None:
+        """Batch-resolve this tick's perception queries across missions.
+
+        Queries are grouped by shared perception core, so one fleet
+        whose missions all view a single core costs one batched call.
+        """
+        grouped: dict[int, tuple[RecognizerPerception, list[ObservationQuery]]] = {}
+        for mission in active:
+            perception = mission.perception
+            if not isinstance(perception, RecognizerPerception):
+                continue
+            pending = mission.executor.pending_observation(mission.world)
+            if pending is None:
+                continue
+            position, human = pending
+            query = perception.query(position, human)
+            if query is None:
+                continue
+            grouped.setdefault(perception.core_key, (perception, []))[1].append(query)
+        for perception, queries in grouped.values():
+            perception.prefetch(queries)
+
+
+def build_fleet(
+    count: int,
+    base_seed: int = 0,
+    config: OrchardConfig | None = None,
+    perception: str | Perception = "recognizer",
+    winds: Sequence[WindCondition] = DEFAULT_WINDS,
+    lightings: Sequence[Lighting] = DEFAULT_LIGHTINGS,
+    negotiation_config: NegotiationConfig | None = None,
+    batch_perception: bool = True,
+    per_frame: bool = False,
+    drone_home: Vec2 = DEFAULT_DRONE_HOME,
+) -> FleetScheduler:
+    """Build a ready-to-run fleet of *count* distinct missions.
+
+    Mission ``i`` draws orchard seed ``base_seed + i`` (distinct layout,
+    traps and personas), wind ``winds[i % len(winds)]`` (the orchard's
+    stochastic wind model is rebuilt at that strength) and lighting
+    ``lightings[i % len(lightings)]`` (the photometric settings its
+    perception renders under).
+
+    Parameters
+    ----------
+    perception:
+        ``"recognizer"`` (default) builds one shared
+        :class:`~repro.protocol.recognizer.RecognizerPerception` core
+        with a per-mission lighting view; ``"oracle"`` uses the
+        calibrated envelope oracle; a
+        :class:`~repro.protocol.perception.Perception` instance is used
+        directly for every mission.
+    per_frame:
+        With ``perception="recognizer"``: disable memoisation and
+        batching — the naive per-frame reference configuration the
+        fleet benchmark measures against.
+    """
+    if count < 1:
+        raise ValueError("fleet needs at least one mission")
+    cfg = config if config is not None else OrchardConfig()
+    shared: RecognizerPerception | None = None
+    if perception == "recognizer":
+        shared = RecognizerPerception(
+            per_frame=per_frame, memoize=not per_frame
+        )
+    missions: list[FleetMission] = []
+    for index in range(count):
+        wind = winds[index % len(winds)] if winds else None
+        lighting = lightings[index % len(lightings)] if lightings else None
+        mission_cfg = replace(
+            cfg,
+            seed=base_seed + index,
+            wind_mean_mps=wind.speed_mps if wind is not None else cfg.wind_mean_mps,
+        )
+        orchard = generate_orchard(mission_cfg)
+        drone = DroneAgent("drone", position=drone_home)
+        orchard.world.add_entity(drone)
+        mission_perception: Perception
+        if shared is not None:
+            settings = (
+                lighting.render_settings() if lighting is not None else None
+            )
+            mission_perception = (
+                shared.with_render_settings(settings)
+                if settings is not None
+                else shared
+            )
+        elif perception == "oracle":
+            mission_perception = OraclePerception()
+        elif isinstance(perception, str):
+            raise ValueError(f"unknown perception kind: {perception!r}")
+        else:
+            mission_perception = perception
+        executor = MissionExecutor(
+            orchard,
+            drone,
+            perception=mission_perception,
+            negotiation_config=negotiation_config,
+        )
+        missions.append(
+            FleetMission(
+                name=f"mission_{index:02d}",
+                orchard=orchard,
+                drone=drone,
+                executor=executor,
+                perception=mission_perception,
+                wind=wind,
+                lighting=lighting,
+            )
+        )
+    return FleetScheduler(missions, batch_perception=batch_perception)
+
+
+def _canonical_value(value: Any) -> Any:
+    """Round floats so transcripts are stable under re-serialisation."""
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def mission_transcript(world) -> list[list[Any]]:
+    """The world's event log as a JSON-ready canonical transcript.
+
+    Each entry is ``[time_s, source, kind, detail]`` with times rounded
+    to the tick grid and floats rounded for stable serialisation — the
+    structure the golden mission regression tests snapshot and replay.
+    """
+    transcript = []
+    for event in world.log:
+        detail = {
+            key: _canonical_value(value) for key, value in sorted(event.detail.items())
+        }
+        transcript.append([round(event.time_s, 3), event.source, event.kind, detail])
+    return transcript

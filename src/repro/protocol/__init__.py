@@ -17,6 +17,12 @@ from repro.protocol.perception import (
     Perception,
     SaxPerception,
 )
+from repro.protocol.recognizer import (
+    ObservationQuery,
+    PerceptionStats,
+    RecognitionEnvelope,
+    RecognizerPerception,
+)
 from repro.protocol.safety import SafetyLimits, SafetyMonitor, SafetyViolation
 
 __all__ = [
@@ -25,8 +31,12 @@ __all__ = [
     "NegotiationOutcome",
     "NegotiationState",
     "ObservationGeometry",
+    "ObservationQuery",
     "OraclePerception",
     "Perception",
+    "PerceptionStats",
+    "RecognitionEnvelope",
+    "RecognizerPerception",
     "SaxPerception",
     "SafetyLimits",
     "SafetyMonitor",

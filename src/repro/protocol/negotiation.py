@@ -155,12 +155,25 @@ class NegotiationController:
         return self.drone.state.position
 
     def update(self, world, dt: float) -> None:
-        """Advance the protocol one tick."""
+        """World-entity driver: delegates to the :meth:`tick` step API."""
+        self.tick(world)
+
+    # -- step API ---------------------------------------------------------------------
+
+    def tick(self, world) -> NegotiationState:
+        """Advance the protocol one non-blocking step; returns the state.
+
+        This is the schedulable unit a fleet drives directly: one call
+        performs at most one protocol transition and (in the awaiting
+        states) at most one perception observation — which
+        :meth:`pending_observation` predicts, so an external scheduler
+        can batch-resolve perception before stepping.
+        """
         if self.finished or self.state is NegotiationState.IDLE:
-            return
+            return self.state
         if self.drone.modes.in_emergency:
             self._fail(world, "drone emergency")
-            return
+            return self.state
 
         handler = {
             NegotiationState.APPROACHING: self._tick_approaching,
@@ -171,6 +184,27 @@ class NegotiationController:
             NegotiationState.ACKNOWLEDGING: self._tick_acknowledging,
         }[self.state]
         handler(world)
+        return self.state
+
+    def pending_observation(self, world) -> tuple[Vec3, HumanAgent] | None:
+        """The perception query the next :meth:`tick` will issue, if any.
+
+        Returns ``(drone_position, human)`` when the controller is in an
+        awaiting state whose observation interval has elapsed — exactly
+        the condition under which :meth:`tick` calls the perception.
+        Fleet schedulers use this to aggregate all missions' queries
+        into one batched recogniser pass per tick.
+        """
+        if self.state not in (
+            NegotiationState.AWAITING_ATTENTION,
+            NegotiationState.AWAITING_ANSWER,
+        ):
+            return None
+        if self.drone.modes.in_emergency:
+            return None
+        if world.now_s < self._next_observation_s:
+            return None
+        return self.drone.state.position, self.human
 
     # -- state handlers ----------------------------------------------------------------
 

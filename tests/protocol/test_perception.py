@@ -2,61 +2,46 @@
 
 import pytest
 
-from repro.geometry import Vec2, Vec3
-from repro.human import SUPERVISOR, HumanAgent, MarshallingSign
+from repro.geometry import Vec3
+from repro.human import MarshallingSign
 from repro.protocol import ObservationGeometry, OraclePerception, SaxPerception
-from repro.simulation import World
-
-
-def standing_human(world: World, sign=MarshallingSign.NO, facing=0.0) -> HumanAgent:
-    human = HumanAgent("human", persona=SUPERVISOR, position=Vec2(0, 0), facing_deg=facing)
-    world.add_entity(human)
-    human.show_sign(sign, world)
-    return human
 
 
 class TestObservationGeometry:
-    def test_full_on(self):
-        world = World()
-        human = standing_human(world, facing=0.0)
+    def test_full_on(self, standing_human_world):
+        world, human = standing_human_world(facing=0.0)
         geometry = ObservationGeometry.between(Vec3(0, 3, 5), human)
         assert geometry.altitude_m == 5.0
         assert geometry.horizontal_distance_m == pytest.approx(3.0)
         assert geometry.relative_azimuth_deg == pytest.approx(0.0)
 
-    def test_side_on(self):
-        world = World()
-        human = standing_human(world, facing=0.0)
+    def test_side_on(self, standing_human_world):
+        world, human = standing_human_world(facing=0.0)
         geometry = ObservationGeometry.between(Vec3(3, 0, 5), human)
         assert geometry.relative_azimuth_deg == pytest.approx(90.0)
 
-    def test_behind(self):
-        world = World()
-        human = standing_human(world, facing=0.0)
+    def test_behind(self, standing_human_world):
+        world, human = standing_human_world(facing=0.0)
         geometry = ObservationGeometry.between(Vec3(0, -3, 5), human)
         assert geometry.relative_azimuth_deg == pytest.approx(180.0)
 
 
 class TestOraclePerception:
-    def test_reads_sign_inside_envelope(self):
-        world = World()
-        human = standing_human(world, sign=MarshallingSign.YES)
+    def test_reads_sign_inside_envelope(self, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
         oracle = OraclePerception()
         assert oracle.observe(Vec3(0, 3, 5), human) is MarshallingSign.YES
 
-    def test_idle_reads_none(self):
-        world = World()
-        human = standing_human(world, sign=MarshallingSign.IDLE)
+    def test_idle_reads_none(self, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.IDLE)
         assert OraclePerception().observe(Vec3(0, 3, 5), human) is None
 
-    def test_too_low_reads_none(self):
-        world = World()
-        human = standing_human(world)
+    def test_too_low_reads_none(self, standing_human_world):
+        world, human = standing_human_world()
         assert OraclePerception().observe(Vec3(0, 3, 1.0), human) is None
 
-    def test_dead_angle_reads_none(self):
-        world = World()
-        human = standing_human(world, facing=0.0)
+    def test_dead_angle_reads_none(self, standing_human_world):
+        world, human = standing_human_world(facing=0.0)
         # Drone at 80 deg relative azimuth: outside the 65 deg envelope.
         import math
 
@@ -64,38 +49,35 @@ class TestOraclePerception:
         position = Vec3(3 * math.sin(az), 3 * math.cos(az), 5.0)
         assert OraclePerception().observe(position, human) is None
 
-    def test_out_of_range_reads_none(self):
-        world = World()
-        human = standing_human(world)
+    def test_out_of_range_reads_none(self, standing_human_world):
+        world, human = standing_human_world()
         assert OraclePerception().observe(Vec3(0, 30, 5), human) is None
 
 
 class TestSaxPerception:
-    @pytest.fixture(scope="class")
-    def perception(self) -> SaxPerception:
-        return SaxPerception()
+    @pytest.fixture
+    def perception(self, canonical_recognizer) -> SaxPerception:
+        # Shared session recogniser (tests/conftest.py); read-only here.
+        return SaxPerception(recognizer=canonical_recognizer)
 
-    def test_reads_sign_through_camera(self, perception):
-        world = World()
-        human = standing_human(world, sign=MarshallingSign.YES)
+    def test_reads_sign_through_camera(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
         assert perception.observe(Vec3(0, 3, 5), human) is MarshallingSign.YES
 
-    def test_agrees_with_oracle_inside_envelope(self, perception):
+    def test_agrees_with_oracle_inside_envelope(self, perception, standing_human_world):
         """The oracle is a calibrated stand-in: inside the envelope the
         two perceptions agree on every sign."""
-        world = World()
+        world, human = standing_human_world()
         oracle = OraclePerception()
-        human = standing_human(world)
         for sign in (MarshallingSign.ATTENTION, MarshallingSign.YES, MarshallingSign.NO):
             human.show_sign(sign, world)
             position = Vec3(0, 3, 5)
             assert perception.observe(position, human) == oracle.observe(position, human)
 
-    def test_rejects_in_dead_angle_like_oracle(self, perception):
+    def test_rejects_in_dead_angle_like_oracle(self, perception, standing_human_world):
         import math
 
-        world = World()
-        human = standing_human(world, sign=MarshallingSign.NO)
+        world, human = standing_human_world(sign=MarshallingSign.NO)
         az = math.radians(85.0)
         position = Vec3(3 * math.sin(az), 3 * math.cos(az), 5.0)
         got = perception.observe(position, human)

@@ -1,0 +1,169 @@
+"""Tests for the batched, envelope-gated RecognizerPerception."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec3
+from repro.human import MarshallingSign
+from repro.protocol import (
+    OraclePerception,
+    RecognitionEnvelope,
+    RecognizerPerception,
+)
+from repro.simulation.scenarios import DUSK, NOON
+
+CANONICAL = Vec3(0, 3, 5)
+
+
+@pytest.fixture
+def perception(canonical_recognizer) -> RecognizerPerception:
+    # Fresh caches per test around the shared (read-only) recogniser.
+    return RecognizerPerception(recognizer=canonical_recognizer)
+
+
+class TestEnvelopeGate:
+    def test_defaults_tighter_than_oracle(self):
+        envelope = RecognitionEnvelope()
+        oracle = OraclePerception()
+        assert envelope.max_azimuth_deg < oracle.max_azimuth_deg
+        assert envelope.min_altitude_m == oracle.min_altitude_m
+        assert envelope.max_range_m == oracle.max_range_m
+
+    @pytest.mark.parametrize(
+        "position",
+        [
+            Vec3(0, 3, 1.0),  # below altitude floor
+            Vec3(0, 30, 5),  # beyond range
+            Vec3(3 * math.sin(math.radians(40)), 3 * math.cos(math.radians(40)), 5.0),
+        ],
+    )
+    def test_gated_geometry_reads_none_without_rendering(
+        self, perception, standing_human_world, position
+    ):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        assert perception.observe(position, human) is None
+        stats = perception.stats
+        assert stats.gated == 1
+        assert stats.frames_classified == 0
+
+    def test_degenerate_camera_reads_none(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        torso = human.position3() + Vec3(0, 0, 1.1)
+        assert perception.observe(torso, human) is None
+
+
+class TestRecognitionParity:
+    def test_matches_oracle_on_all_signs_at_canonical_view(
+        self, perception, standing_human_world
+    ):
+        world, human = standing_human_world()
+        oracle = OraclePerception()
+        signs = [
+            MarshallingSign.ATTENTION,
+            MarshallingSign.YES,
+            MarshallingSign.NO,
+            MarshallingSign.IDLE,
+        ]
+        for sign in signs:
+            human.show_sign(sign, world)
+            assert perception.observe(CANONICAL, human) == oracle.observe(
+                CANONICAL, human
+            )
+
+    def test_per_frame_mode_matches_batched_mode(
+        self, canonical_recognizer, standing_human_world
+    ):
+        world, human = standing_human_world()
+        batched = RecognizerPerception(recognizer=canonical_recognizer)
+        scalar = RecognizerPerception(
+            recognizer=canonical_recognizer, per_frame=True, memoize=False
+        )
+        for sign in (MarshallingSign.ATTENTION, MarshallingSign.YES, MarshallingSign.IDLE):
+            human.show_sign(sign, world)
+            for position in (CANONICAL, Vec3(0.4, 3.1, 4.9)):
+                assert batched.observe(position, human) == scalar.observe(
+                    position, human
+                )
+
+
+class TestMemoisation:
+    def test_repeated_observation_classifies_once(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        results = [perception.observe(CANONICAL, human) for _ in range(5)]
+        assert results == [MarshallingSign.YES] * 5
+        stats = perception.stats
+        assert stats.frames_classified == 1
+        assert stats.cache_hits == 4
+
+    def test_sub_quantum_jitter_hits_the_cache(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.NO)
+        assert perception.observe(CANONICAL, human) is MarshallingSign.NO
+        jittered = Vec3(0.004, 3.004, 5.004)  # < half the 0.05 m quantum
+        assert perception.observe(jittered, human) is MarshallingSign.NO
+        assert perception.stats.frames_classified == 1
+
+    def test_pose_change_invalidates(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        perception.observe(CANONICAL, human)
+        human.show_sign(MarshallingSign.NO, world)
+        assert perception.observe(CANONICAL, human) is MarshallingSign.NO
+        assert perception.stats.frames_classified == 2
+
+    def test_cache_is_bounded(self, canonical_recognizer, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        small = RecognizerPerception(
+            recognizer=canonical_recognizer, max_cache_entries=2
+        )
+        for dx in (0.0, 0.3, 0.6, 0.9):
+            small.observe(Vec3(dx, 3, 5), human)
+        assert len(small._core.cache) == 2
+
+
+class TestPrefetch:
+    def test_prefetch_answers_batch_in_one_call(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        positions = [Vec3(0.2 * k, 3, 5) for k in range(4)]
+        queries = [perception.query(p, human) for p in positions]
+        assert all(q is not None for q in queries)
+        classified = perception.prefetch(queries)
+        assert classified == 4
+        assert perception.stats.batch_calls == 1
+        # Subsequent observations are pure cache lookups.
+        for position in positions:
+            assert perception.observe(position, human) is MarshallingSign.YES
+        assert perception.stats.frames_classified == 4
+
+    def test_prefetch_dedupes_and_skips_cached(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.NO)
+        query = perception.query(CANONICAL, human)
+        assert perception.prefetch([query, query, None]) == 1
+        assert perception.prefetch([query]) == 0
+
+
+class TestLightingViews:
+    def test_views_share_one_core(self, perception):
+        dusk_view = perception.with_render_settings(DUSK.render_settings())
+        assert dusk_view.core_key == perception.core_key
+        assert dusk_view.recognizer is perception.recognizer
+
+    def test_lighting_is_part_of_the_cache_key(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        noon_view = perception.with_render_settings(NOON.render_settings())
+        dusk_view = perception.with_render_settings(DUSK.render_settings())
+        noon_view.observe(CANONICAL, human)
+        dusk_view.observe(CANONICAL, human)
+        assert perception.stats.frames_classified == 2  # no cross-lighting hit
+
+
+class TestBudget:
+    def test_cumulative_budget_spans_observations(self, perception, standing_human_world):
+        world, human = standing_human_world(sign=MarshallingSign.YES)
+        for dx in (0.0, 0.5, 1.0):
+            perception.observe(Vec3(dx, 3, 5), human)
+        report = perception.budget_report()
+        assert report.frame_count == 3
+        stages = {t.stage for t in report.stages}
+        assert "render" in stages
+        assert "classify" in stages
+        assert any(s.startswith("classify.") for s in stages)

@@ -22,11 +22,10 @@ from repro.vision.image import Image
 ELEVATION = observation_elevation_deg(5.0, 3.0)
 
 
-@pytest.fixture(scope="module")
-def recognizer() -> SaxSignRecognizer:
-    rec = SaxSignRecognizer()
-    rec.enroll_canonical_views()
-    return rec
+@pytest.fixture
+def recognizer(canonical_recognizer) -> SaxSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return canonical_recognizer
 
 
 def frame_of(sign: MarshallingSign, azimuth_deg: float = 0.0) -> Image:

@@ -19,12 +19,10 @@ ELEVATION = observation_elevation_deg(5.0, 3.0)
 SETTINGS = RenderSettings(noise_sigma=0.02)
 
 
-@pytest.fixture(scope="module")
-def recognizer() -> DynamicSignRecognizer:
-    rec = DynamicSignRecognizer()
-    rec.enroll(WAVE_OFF)
-    rec.enroll(MOVE_UPWARD)
-    return rec
+@pytest.fixture
+def recognizer(enrolled_dynamic_recognizer) -> DynamicSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return enrolled_dynamic_recognizer
 
 
 def renderer_for(sign):

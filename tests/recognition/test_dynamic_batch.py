@@ -25,12 +25,10 @@ SETTINGS = RenderSettings(noise_sigma=0.02)
 HZ = 8.0
 
 
-@pytest.fixture(scope="module")
-def recognizer() -> DynamicSignRecognizer:
-    rec = DynamicSignRecognizer()
-    rec.enroll(WAVE_OFF)
-    rec.enroll(MOVE_UPWARD)
-    return rec
+@pytest.fixture
+def recognizer(enrolled_dynamic_recognizer) -> DynamicSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return enrolled_dynamic_recognizer
 
 
 def window_for(sign, frame_count, hz=HZ):

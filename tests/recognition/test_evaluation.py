@@ -15,11 +15,10 @@ from repro.recognition import (
 from repro.recognition.evaluation import AltitudeEnvelope
 
 
-@pytest.fixture(scope="module")
-def recognizer() -> SaxSignRecognizer:
-    rec = SaxSignRecognizer()
-    rec.enroll_canonical_views()
-    return rec
+@pytest.fixture
+def recognizer(canonical_recognizer) -> SaxSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return canonical_recognizer
 
 
 def point(parameter, correct):

@@ -7,11 +7,10 @@ from repro.recognition import SaxSignRecognizer
 from repro.sax import SaxParameters
 
 
-@pytest.fixture(scope="module")
-def recognizer() -> SaxSignRecognizer:
-    rec = SaxSignRecognizer()
-    rec.enroll_canonical_views()
-    return rec
+@pytest.fixture
+def recognizer(canonical_recognizer) -> SaxSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return canonical_recognizer
 
 
 class TestEnrolment:

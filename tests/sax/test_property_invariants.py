@@ -1,0 +1,139 @@
+"""Seeded randomised property tests for the SAX invariants.
+
+Three families, each fuzzed over ~50 random shapes, lengths and
+alphabet sizes from a fixed seed (fully deterministic — no external
+property-testing framework, no flakes):
+
+* z-normalisation is invariant under positive affine maps of the input;
+* the word-level MINDIST at an *aligned* shift (whole PAA segments)
+  never exceeds the Euclidean distance between the correspondingly
+  shifted z-normalised series — the SAX lower-bound property that makes
+  MINDIST a sound prune;
+* the batched matchers are element-for-element identical to their
+  scalar references on arbitrary random inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sax.distance import euclidean_distance, mindist
+from repro.sax.encoder import SaxEncoder, SaxParameters
+from repro.sax.matching import (
+    best_shift_euclidean,
+    best_shift_euclidean_batch,
+    best_shift_mindist,
+    best_shift_mindist_batch,
+)
+from repro.sax.normalize import z_normalize
+
+N_CASES = 50
+
+
+def random_cases(seed: int, count: int = N_CASES):
+    """Deterministic stream of (rng, word_length, segment, alphabet)."""
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        word_length = int(rng.integers(4, 17))
+        segment = int(rng.integers(2, 9))
+        alphabet = int(rng.integers(3, 11))
+        yield rng, word_length, segment, alphabet
+
+
+def random_series(rng, n: int) -> np.ndarray:
+    """A random-walk shape series (matches contour-signature statistics)."""
+    return np.asarray(rng.normal(size=n)).cumsum()
+
+
+class TestZNormalizationInvariance:
+    def test_affine_invariance(self):
+        """z(a*x + b) == z(x) for any positive scale and any offset."""
+        for rng, w, seg, _ in random_cases(seed=101):
+            series = random_series(rng, w * seg)
+            scale = float(rng.uniform(0.05, 50.0))
+            offset = float(rng.uniform(-100.0, 100.0))
+            reference = z_normalize(series)
+            transformed = z_normalize(scale * series + offset)
+            np.testing.assert_allclose(transformed, reference, atol=1e-9)
+
+    def test_output_is_standardised(self):
+        for rng, w, seg, _ in random_cases(seed=102, count=20):
+            normalized = z_normalize(random_series(rng, w * seg))
+            assert abs(float(normalized.mean())) < 1e-9
+            assert float(normalized.std()) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMindistLowerBound:
+    def test_word_rotation_matches_segment_roll(self):
+        """Rolling the z-normalised series by whole PAA segments rotates
+        its SAX word — the identity that makes shifts 'aligned'."""
+        for rng, w, seg, alpha in random_cases(seed=201, count=20):
+            n = w * seg
+            encoder = SaxEncoder(SaxParameters(word_length=w, alphabet_size=alpha))
+            series = random_series(rng, n)
+            word = encoder.encode(series)
+            shift = int(rng.integers(0, w))
+            rolled = np.roll(z_normalize(series), -shift * seg)
+            assert encoder.encode(rolled).symbols == word.rotated(shift).symbols
+
+    def test_mindist_never_exceeds_euclidean_at_aligned_shift(self):
+        """MINDIST(word_a, rot(word_b, s)) <= ||z(a) - roll(z(b), s segs)||."""
+        checked = 0
+        for rng, w, seg, alpha in random_cases(seed=202):
+            n = w * seg
+            encoder = SaxEncoder(SaxParameters(word_length=w, alphabet_size=alpha))
+            series_a = random_series(rng, n)
+            series_b = random_series(rng, n)
+            word_a = encoder.encode(series_a)
+            word_b = encoder.encode(series_b)
+            for shift in range(0, w, max(1, w // 4)):
+                word_distance = mindist(word_a, word_b.rotated(shift), n)
+                euclidean = euclidean_distance(
+                    z_normalize(series_a), np.roll(z_normalize(series_b), -shift * seg)
+                )
+                assert word_distance <= euclidean + 1e-9
+                checked += 1
+        assert checked >= N_CASES  # the fuzz actually exercised the bound
+
+    def test_best_shift_mindist_lower_bounds_best_aligned_euclidean(self):
+        """The *best* word-shift MINDIST lower-bounds the best Euclidean
+        distance over aligned (whole-segment) shifts."""
+        for rng, w, seg, alpha in random_cases(seed=203, count=25):
+            n = w * seg
+            encoder = SaxEncoder(SaxParameters(word_length=w, alphabet_size=alpha))
+            series_a = random_series(rng, n)
+            series_b = random_series(rng, n)
+            best_word = best_shift_mindist(
+                encoder.encode(series_a), encoder.encode(series_b), n
+            ).distance
+            za, zb = z_normalize(series_a), z_normalize(series_b)
+            best_aligned = min(
+                euclidean_distance(za, np.roll(zb, -shift * seg)) for shift in range(w)
+            )
+            assert best_word <= best_aligned + 1e-9
+
+
+class TestBatchScalarParityFuzz:
+    def test_euclidean_batch_matches_scalar(self):
+        for rng, w, seg, _ in random_cases(seed=301):
+            n = w * seg
+            views = int(rng.integers(1, 7))
+            query = random_series(rng, n)
+            refs = np.stack([random_series(rng, n) for _ in range(views)])
+            batch = best_shift_euclidean_batch(query, refs)
+            for v in range(views):
+                scalar = best_shift_euclidean(query, refs[v])
+                assert batch[v].distance == scalar.distance
+                assert batch[v].shift == scalar.shift
+
+    def test_mindist_batch_matches_scalar(self):
+        for rng, w, seg, alpha in random_cases(seed=302):
+            n = w * seg
+            encoder = SaxEncoder(SaxParameters(word_length=w, alphabet_size=alpha))
+            views = int(rng.integers(1, 7))
+            query = encoder.encode(random_series(rng, n))
+            refs = [encoder.encode(random_series(rng, n)) for _ in range(views)]
+            batch = best_shift_mindist_batch(query, refs, n)
+            for v in range(views):
+                scalar = best_shift_mindist(query, refs[v], n)
+                assert batch[v].distance == scalar.distance
+                assert batch[v].shift == scalar.shift

@@ -29,19 +29,16 @@ from repro.simulation.scenarios import (
 )
 
 
-@pytest.fixture(scope="module")
-def static_recognizer() -> SaxSignRecognizer:
-    rec = SaxSignRecognizer()
-    rec.enroll_canonical_views()
-    return rec
+@pytest.fixture
+def static_recognizer(canonical_recognizer) -> SaxSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return canonical_recognizer
 
 
-@pytest.fixture(scope="module")
-def dynamic_recognizer() -> DynamicSignRecognizer:
-    rec = DynamicSignRecognizer()
-    rec.enroll(WAVE_OFF)
-    rec.enroll(MOVE_UPWARD)
-    return rec
+@pytest.fixture
+def dynamic_recognizer(enrolled_dynamic_recognizer) -> DynamicSignRecognizer:
+    # Shared session recogniser (tests/conftest.py); read-only here.
+    return enrolled_dynamic_recognizer
 
 
 class TestMatrix:
