@@ -4,7 +4,12 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-smoke check
+.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-service bench-smoke check
+
+# Everything the ruff gate covers — named explicitly so benchmarks/ and
+# scripts/ can never silently drop out of the lint surface.  Update when
+# adding a top-level package or script.
+LINT_TARGETS = src tests benchmarks scripts examples setup.py
 
 # Coverage floor for `make coverage` / CI.  Measured 96.5% line
 # coverage (scripts/measure_coverage.py); the floor sits a few points
@@ -22,14 +27,15 @@ test:
 # always installs it, so findings cannot land on main.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check .; \
+		ruff check $(LINT_TARGETS); \
 	else \
 		echo "lint: ruff not installed; skipped (CI runs it)"; \
 	fi
 
 # Fail if any public function/class/method in repro.vision,
-# repro.recognition, repro.sax, repro.simulation, repro.mission or
-# repro.protocol lacks a docstring (see docs/ARCHITECTURE.md).
+# repro.recognition, repro.sax, repro.simulation, repro.mission,
+# repro.protocol or repro.service lacks a docstring (see
+# docs/ARCHITECTURE.md).
 docs-check:
 	$(PYTHON) scripts/check_docstrings.py
 
@@ -62,11 +68,20 @@ bench-dynamic:
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet.py
 
+# Regenerate BENCH_service.json (gate: sharded service >= 1.8x the
+# single-process classify_batch on 4 workers, enforced on multi-core
+# hosts; verdict parity unconditional; see docs/BENCHMARKS.md).
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
+
 # Reduced-size benchmark runs with perf gates disabled (parity checks
-# stay on) — the CI smoke job uses this so bench scripts cannot rot.
+# stay on) — the CI smoke job uses this so bench scripts cannot rot,
+# then diffs the artifacts against the committed baselines with
+# scripts/compare_bench.py.
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_throughput.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_dynamic_batch.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_fleet.py
+	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_service.py
 
 check: lint docs-check test

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs gate: the public API of ``repro.vision``, ``repro.recognition``,
-``repro.sax``, ``repro.simulation``, ``repro.mission`` and
-``repro.protocol`` must be documented.
+``repro.sax``, ``repro.simulation``, ``repro.mission``,
+``repro.protocol`` and ``repro.service`` must be documented.
 
 Checks, for every module in the covered packages:
 
@@ -33,6 +33,7 @@ DEFAULT_PACKAGES = (
     "repro.simulation",
     "repro.mission",
     "repro.protocol",
+    "repro.service",
 )
 
 

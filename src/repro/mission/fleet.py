@@ -48,6 +48,8 @@ from repro.protocol.recognizer import (
     RecognizerPerception,
 )
 from repro.recognition.budget import BudgetReport
+from repro.recognition.pipeline import SaxSignRecognizer
+from repro.service import RecognitionService, ServiceStats
 from repro.simulation.scenarios import (
     DEFAULT_LIGHTINGS,
     DEFAULT_WINDS,
@@ -104,6 +106,7 @@ class FleetReport:
     sim_duration_s: float
     perception_stats: PerceptionStats | None = None
     perception_budget: BudgetReport | None = None
+    service_stats: ServiceStats | None = None
 
     @property
     def missions(self) -> int:
@@ -143,12 +146,18 @@ class FleetScheduler:
     batch_perception:
         Aggregate per-tick perception queries into one batched prefetch
         (set ``False`` to measure the unbatched scheduler).
+    service:
+        A :class:`~repro.service.RecognitionService` whose lifecycle
+        this scheduler *owns* — started by :func:`build_fleet` when
+        ``workers > 0``; stopped when :meth:`run` finishes (or fails)
+        and by :meth:`close`.
     """
 
     def __init__(
         self,
         missions: Sequence[FleetMission],
         batch_perception: bool = True,
+        service: RecognitionService | None = None,
     ) -> None:
         if not missions:
             raise ValueError("a fleet needs at least one mission")
@@ -160,6 +169,7 @@ class FleetScheduler:
             raise ValueError(f"fleet worlds must share one time step, got {steps}")
         self.missions = list(missions)
         self.batch_perception = batch_perception
+        self.service = service
         self.time_step_s = steps.pop()
         self._ticks = 0
         self._started = False
@@ -225,17 +235,29 @@ class FleetScheduler:
             If any mission is still flying after *timeout_s* simulated
             seconds on the shared clock.
         """
-        if not self._started:
-            self.start()
-        deadline = self.now_s + timeout_s
-        while not self.finished:
-            if self.now_s >= deadline:
-                stuck = [m.name for m in self.active_missions]
-                raise TimeoutError(
-                    f"fleet missions {stuck} did not finish within {timeout_s} s"
-                )
-            self.tick()
-        return self.report()
+        try:
+            if not self._started:
+                self.start()
+            deadline = self.now_s + timeout_s
+            while not self.finished:
+                if self.now_s >= deadline:
+                    stuck = [m.name for m in self.active_missions]
+                    raise TimeoutError(
+                        f"fleet missions {stuck} did not finish within {timeout_s} s"
+                    )
+                self.tick()
+            return self.report()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the owned recognition service, if any.  Idempotent.
+
+        Counters stay readable after close — :meth:`report` still
+        includes the final :class:`~repro.service.ServiceStats`.
+        """
+        if self.service is not None:
+            self.service.stop()
 
     def report(self) -> FleetReport:
         """Summarise the fleet's current state.
@@ -259,6 +281,7 @@ class FleetScheduler:
             sim_duration_s=self.now_s,
             perception_stats=stats,
             perception_budget=budget,
+            service_stats=self.service.stats if self.service is not None else None,
         )
 
     # -- internals ----------------------------------------------------------------------
@@ -297,6 +320,7 @@ def build_fleet(
     batch_perception: bool = True,
     per_frame: bool = False,
     drone_home: Vec2 = DEFAULT_DRONE_HOME,
+    workers: int = 0,
 ) -> FleetScheduler:
     """Build a ready-to-run fleet of *count* distinct missions.
 
@@ -319,61 +343,97 @@ def build_fleet(
         With ``perception="recognizer"``: disable memoisation and
         batching — the naive per-frame reference configuration the
         fleet benchmark measures against.
+    workers:
+        With ``perception="recognizer"``: route the shared core's
+        classification through a started
+        :class:`~repro.service.RecognitionService` with this many shard
+        worker processes, so a 32–64 mission fleet's matching work
+        scales across cores.  The returned scheduler owns the service
+        (stopped when :meth:`FleetScheduler.run` completes, or via
+        :meth:`FleetScheduler.close`); mission outcomes are identical
+        to ``workers=0`` by the sharding-parity contract.
     """
     if count < 1:
         raise ValueError("fleet needs at least one mission")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    if workers and perception != "recognizer":
+        raise ValueError("workers requires the recognizer perception")
     cfg = config if config is not None else OrchardConfig()
     shared: RecognizerPerception | None = None
+    service: RecognitionService | None = None
     if perception == "recognizer":
-        shared = RecognizerPerception(
-            per_frame=per_frame, memoize=not per_frame
-        )
-    missions: list[FleetMission] = []
-    for index in range(count):
-        wind = winds[index % len(winds)] if winds else None
-        lighting = lightings[index % len(lightings)] if lightings else None
-        mission_cfg = replace(
-            cfg,
-            seed=base_seed + index,
-            wind_mean_mps=wind.speed_mps if wind is not None else cfg.wind_mean_mps,
-        )
-        orchard = generate_orchard(mission_cfg)
-        drone = DroneAgent("drone", position=drone_home)
-        orchard.world.add_entity(drone)
-        mission_perception: Perception
-        if shared is not None:
-            settings = (
-                lighting.render_settings() if lighting is not None else None
+        if workers:
+            recognizer = SaxSignRecognizer()
+            recognizer.enroll_canonical_views()
+            service = RecognitionService(
+                recognizer.database, workers=workers
+            ).start()
+            shared = RecognizerPerception(
+                recognizer=recognizer,
+                per_frame=per_frame,
+                memoize=not per_frame,
+                service=service,
             )
-            mission_perception = (
-                shared.with_render_settings(settings)
-                if settings is not None
-                else shared
-            )
-        elif perception == "oracle":
-            mission_perception = OraclePerception()
-        elif isinstance(perception, str):
-            raise ValueError(f"unknown perception kind: {perception!r}")
         else:
-            mission_perception = perception
-        executor = MissionExecutor(
-            orchard,
-            drone,
-            perception=mission_perception,
-            negotiation_config=negotiation_config,
-        )
-        missions.append(
-            FleetMission(
-                name=f"mission_{index:02d}",
-                orchard=orchard,
-                drone=drone,
-                executor=executor,
-                perception=mission_perception,
-                wind=wind,
-                lighting=lighting,
+            shared = RecognizerPerception(
+                per_frame=per_frame, memoize=not per_frame
             )
+    try:
+        missions: list[FleetMission] = []
+        for index in range(count):
+            wind = winds[index % len(winds)] if winds else None
+            lighting = lightings[index % len(lightings)] if lightings else None
+            mission_cfg = replace(
+                cfg,
+                seed=base_seed + index,
+                wind_mean_mps=wind.speed_mps if wind is not None else cfg.wind_mean_mps,
+            )
+            orchard = generate_orchard(mission_cfg)
+            drone = DroneAgent("drone", position=drone_home)
+            orchard.world.add_entity(drone)
+            mission_perception: Perception
+            if shared is not None:
+                settings = (
+                    lighting.render_settings() if lighting is not None else None
+                )
+                mission_perception = (
+                    shared.with_render_settings(settings)
+                    if settings is not None
+                    else shared
+                )
+            elif perception == "oracle":
+                mission_perception = OraclePerception()
+            elif isinstance(perception, str):
+                raise ValueError(f"unknown perception kind: {perception!r}")
+            else:
+                mission_perception = perception
+            executor = MissionExecutor(
+                orchard,
+                drone,
+                perception=mission_perception,
+                negotiation_config=negotiation_config,
+            )
+            missions.append(
+                FleetMission(
+                    name=f"mission_{index:02d}",
+                    orchard=orchard,
+                    drone=drone,
+                    executor=executor,
+                    perception=mission_perception,
+                    wind=wind,
+                    lighting=lighting,
+                )
+            )
+        return FleetScheduler(
+            missions, batch_perception=batch_perception, service=service
         )
-    return FleetScheduler(missions, batch_perception=batch_perception)
+    except BaseException:
+        # The service's worker processes were already started above —
+        # don't leak them when mission construction fails.
+        if service is not None:
+            service.stop()
+        raise
 
 
 def _canonical_value(value: Any) -> Any:

@@ -48,7 +48,7 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import astuple, dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.geometry.camera import CameraIntrinsics, PinholeCamera
 from repro.geometry.vec import Vec3
@@ -64,6 +64,9 @@ from repro.recognition.pipeline import (
     observation_elevation_deg,
 )
 from repro.vision.image import Image
+
+if TYPE_CHECKING:  # pragma: no cover — import would be cycle-free but lazy
+    from repro.service import RecognitionService
 
 __all__ = [
     "RecognitionEnvelope",
@@ -232,11 +235,13 @@ class _PerceptionCore:
         memoize: bool,
         per_frame: bool,
         max_cache_entries: int,
+        service: "RecognitionService | None" = None,
     ) -> None:
         self.recognizer = recognizer
         self.memoize = memoize
         self.per_frame = per_frame
         self.max_cache_entries = max_cache_entries
+        self.service = service
         self.cache: OrderedDict[ObservationQuery, MarshallingSign | None] = OrderedDict()
         self.budget = FrameBudget(budget_s=recognizer.frame_budget_s)
         self.observations = 0
@@ -274,8 +279,14 @@ class _PerceptionCore:
                     for frame, elevation in zip(frames, elevations)
                 ]
             else:
+                # Service-backed mode routes the sax_match stage through
+                # the shard pool; results stay bit-identical (sharding-
+                # parity contract), so the two modes are interchangeable.
+                classifier = (
+                    self.service.classify_batch if self.service is not None else None
+                )
                 results = self.recognizer.recognize_batch(
-                    frames, elevation_deg=elevations
+                    frames, elevation_deg=elevations, classifier=classifier
                 )
                 self.batch_calls += 1
         self._fold_substages(results)
@@ -346,6 +357,14 @@ class RecognizerPerception:
         Camera-position grid step; 0 disables quantisation.
     max_cache_entries:
         LRU capacity of the result cache.
+    service:
+        Optional running :class:`~repro.service.RecognitionService`
+        built over this recogniser's database: the ``sax_match`` stage
+        of every batched classification is routed through the service's
+        shard-worker pool instead of the in-process
+        ``classify_batch``.  Results are bit-identical (the sharding-
+        parity contract), so this only changes *where* the matching
+        work runs.  The caller owns the service lifecycle.
     """
 
     def __init__(
@@ -357,6 +376,7 @@ class RecognizerPerception:
         memoize: bool = True,
         pose_quantum_m: float = 0.05,
         max_cache_entries: int = 8192,
+        service: "RecognitionService | None" = None,
     ) -> None:
         if recognizer is None:
             recognizer = SaxSignRecognizer()
@@ -373,6 +393,7 @@ class RecognizerPerception:
             memoize=memoize,
             per_frame=per_frame,
             max_cache_entries=max_cache_entries,
+            service=service,
         )
 
     # -- views ----------------------------------------------------------------------
@@ -395,6 +416,11 @@ class RecognizerPerception:
     def recognizer(self) -> SaxSignRecognizer:
         """The underlying shared recogniser."""
         return self._core.recognizer
+
+    @property
+    def service(self) -> "RecognitionService | None":
+        """The backing recognition service, when service-backed."""
+        return self._core.service
 
     @property
     def core_key(self) -> int:

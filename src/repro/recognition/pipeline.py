@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.geometry.camera import observation_camera
 from repro.human.pose import pose_for_sign
@@ -237,6 +237,7 @@ class SaxSignRecognizer:
         self,
         frames: Sequence[Image],
         elevation_deg: float | Sequence[float] | None = None,
+        classifier: Callable[[Sequence], list] | None = None,
     ) -> list[Recognition]:
         """Recognise a batch of frames in one amortised pass.
 
@@ -257,10 +258,20 @@ class SaxSignRecognizer:
         elevation_deg:
             A single elevation applied to every frame, or one elevation
             per frame.
+        classifier:
+            Optional replacement for the database's ``classify_batch``
+            — must map a batch of signature series to a list of
+            :class:`~repro.sax.database.MatchResult` in order.  The
+            seam the service-backed perception uses to route the
+            ``sax_match`` stage through a
+            :class:`~repro.service.RecognitionService` shard pool
+            (bit-identical results, by the sharding-parity contract).
         """
         frames = list(frames)
         if not self.database.labels:
             raise RuntimeError("no signs enrolled; call enroll_canonical_views() first")
+        if classifier is None:
+            classifier = self.database.classify_batch
         budget = FrameBudget(
             budget_s=self.frame_budget_s, frame_count=max(1, len(frames))
         )
@@ -270,7 +281,7 @@ class SaxSignRecognizer:
             )
         usable = [pre.series for pre in pres if pre.ok]
         with budget.stage("sax_match"):
-            matches = iter(self.database.classify_batch(usable) if usable else [])
+            matches = iter(classifier(usable) if usable else [])
         report = budget.report()
         results: list[Recognition] = []
         for pre in pres:

@@ -138,6 +138,7 @@ class SignDatabase:
         self._entries: dict[str, list[SignEntry]] = {}
         self._cache: _ViewCache | None = None
         self._cache_stale = True
+        self._version = 0
 
     def __len__(self) -> int:
         return sum(len(views) for views in self._entries.values())
@@ -149,6 +150,16 @@ class SignDatabase:
     def labels(self) -> list[str]:
         """Stored sign labels in insertion order."""
         return list(self._entries)
+
+    @property
+    def version(self) -> int:
+        """Enrolment version, bumped by every ``add``/``remove``.
+
+        Lets holders of derived state (the sharded recognition
+        service's worker snapshots) detect that the database changed
+        underneath them instead of silently drifting out of parity.
+        """
+        return self._version
 
     def add(self, label: str, series: np.ndarray, view: str = "canonical") -> SignEntry:
         """Register a reference series under *label*.
@@ -168,6 +179,7 @@ class SignDatabase:
         views[:] = [v for v in views if v.view != view]
         views.append(entry)
         self._cache_stale = True
+        self._version += 1
         return entry
 
     def remove(self, label: str, view: str | None = None) -> None:
@@ -190,6 +202,37 @@ class SignDatabase:
             else:
                 del self._entries[label]
         self._cache_stale = True
+        self._version += 1
+
+    def subset(self, labels: Sequence[str]) -> "SignDatabase":
+        """A new database holding only *labels* — shard-view construction.
+
+        The clone shares this database's SAX parameters and thresholds
+        and carries the selected labels *in this database's enrolment
+        order* (the order ``labels`` is passed in does not matter), with
+        every view of each label — a label's views must stay together
+        for the sharded service's prune replay to be bit-identical.
+        Entries are shared, not copied (they are immutable); the clone
+        builds its own view cache.
+
+        Raises
+        ------
+        KeyError
+            If any requested label is not stored.
+        """
+        missing = [label for label in labels if label not in self._entries]
+        if missing:
+            raise KeyError(f"labels not stored: {missing}")
+        clone = SignDatabase(
+            parameters=self.encoder.parameters,
+            acceptance_threshold=self.acceptance_threshold,
+            margin_threshold=self.margin_threshold,
+        )
+        wanted = set(labels)
+        for label, views in self._entries.items():
+            if label in wanted:
+                clone._entries[label] = list(views)
+        return clone
 
     def entries(self, label: str) -> list[SignEntry]:
         """Return all views stored for *label*.
@@ -227,6 +270,10 @@ class SignDatabase:
         """
         if not self._entries:
             raise RuntimeError("sign database is empty")
+        return self._decide(self._score_scalar(series))
+
+    def _score_scalar(self, series: np.ndarray) -> list[tuple[float, str]]:
+        """Per-label distances for one query (scalar reference path)."""
         query = np.asarray(series, dtype=np.float64)
         if query.ndim != 1:
             raise ValueError("expected a 1-D series")
@@ -250,7 +297,18 @@ class SignDatabase:
                 exact = best_shift_euclidean(query, ref.series).distance / sqrt_n
                 best_for_label = min(best_for_label, exact)
             scored.append((best_for_label, label))
+        return scored
 
+    def decide_scored(self, scored: list[tuple[float, str]]) -> MatchResult:
+        """Turn a per-label ``(distance, label)`` list into a decision.
+
+        Public seam for the sharded recognition service
+        (:mod:`repro.service`): shard workers return
+        :meth:`score_batch` lists for their label subsets, the merge
+        layer reassembles them in global label order and decides here —
+        the same thresholding the in-process paths use, so sharded
+        answers cannot drift.  The list is sorted in place.
+        """
         return self._decide(scored)
 
     def _decide(self, scored: list[tuple[float, str]]) -> MatchResult:
@@ -344,6 +402,25 @@ class SignDatabase:
         replicated, not skipped).  Results are therefore bit-identical
         to calling :meth:`classify` per query.
         """
+        return [self._decide(scored) for scored in self.score_batch(queries)]
+
+    def score_batch(
+        self, queries: Sequence[np.ndarray] | np.ndarray
+    ) -> list[list[tuple[float, str]]]:
+        """Per-label distance lists for a batch of queries.
+
+        The scoring stage of :meth:`classify_batch` without the final
+        accept/reject decision: one ``(distance, label)`` pair per
+        enrolled label (in enrolment order) per query.  This is the
+        unit of work a shard worker computes in the sharded recognition
+        service — a shard scores its label subset here and the merge
+        layer concatenates the lists back into global label order
+        before :meth:`decide_scored`.  Per-label prune decisions only
+        ever involve views *of that label* (the aligned-shift cap means
+        a view whose bound could prune always triggers bound
+        computation within its own shard), so scoring a label subset is
+        bit-identical to scoring it as part of the full database.
+        """
         if not self._entries:
             raise RuntimeError("sign database is empty")
         if isinstance(queries, np.ndarray) and queries.ndim == 1:
@@ -359,7 +436,7 @@ class SignDatabase:
         if cache is None:
             # Heterogeneous reference lengths: defer to the scalar path,
             # which raises the appropriate per-entry length error.
-            return [self.classify(q) for q in batch]
+            return [self._score_scalar(q) for q in batch]
 
         n = cache.length
         word_length = self.encoder.parameters.word_length
@@ -380,7 +457,7 @@ class SignDatabase:
         alphabet_size = self.encoder.parameters.alphabet_size
         sqrt_n = np.sqrt(n)
         prune_gate = self.acceptance_threshold * 2.0
-        results: list[MatchResult] = []
+        results: list[list[tuple[float, str]]] = []
         shift_step, remainder = divmod(n, word_length)
         # Queries are SAX-encoded lazily: the words feed only the MINDIST
         # bound stage, which the aligned-shift cap skips for most queries.
@@ -456,7 +533,7 @@ class SignDatabase:
                                 continue
                             best_for_label = min(best_for_label, row[view])
                         scored.append((best_for_label, label))
-                results.append(self._decide(scored))
+                results.append(scored)
         return results
 
     def word_table(self) -> dict[str, str]:

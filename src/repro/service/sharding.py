@@ -1,0 +1,172 @@
+"""Shard-view construction and the shard-merge parity contract.
+
+The sharded recognition service splits the enrolled
+:class:`~repro.sax.database.SignDatabase` **by sign**: each shard is a
+:meth:`~repro.sax.database.SignDatabase.subset` holding a disjoint group
+of labels with *all* of their views.  A query batch is scored against
+every shard (:meth:`~repro.sax.database.SignDatabase.score_batch`), the
+per-label ``(distance, label)`` lists are merged back into global
+enrolment order, and the full database's
+:meth:`~repro.sax.database.SignDatabase.decide_scored` turns each merged
+list into a :class:`~repro.sax.database.MatchResult` — a per-frame
+argmin across shards.
+
+**Parity contract** (enforced by ``tests/service/test_sharding.py`` and
+unconditionally by ``benchmarks/bench_service.py``): the merged result
+is bit-identical to single-process
+:meth:`~repro.sax.database.SignDatabase.classify_batch`, because
+
+* a label's views never straddle shards, so the sequential
+  MINDIST-prune replay over a label's views sees the same state;
+* the batched kernels compute every (query, view) value independently
+  of which other views share the stack (documented bit-identical to the
+  scalar per-pair matchers), so slicing the view stack cannot change a
+  distance;
+* a view whose MINDIST bound could prune always has a word-aligned
+  distance above the prune gate, which triggers bound computation
+  *within its own shard* — the aligned-shift cap can never skip a
+  prune-capable view just because the triggering view lives elsewhere;
+* the merge reassembles per-label scores in global enrolment order, so
+  the decision layer's stable sort breaks ties exactly as the
+  single-process path does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.sax.database import MatchResult, SignDatabase
+
+__all__ = [
+    "DatabaseShard",
+    "build_shards",
+    "merge_scored",
+    "sharded_classify_batch",
+]
+
+
+@dataclass(frozen=True)
+class DatabaseShard:
+    """One shard of a sign database: a label subset plus its position.
+
+    ``label_indices`` are the labels' positions in the *full* database's
+    enrolment order (ascending) — the information
+    :func:`merge_scored` needs to reassemble per-shard score lists into
+    the exact list the unsharded path would have built.
+    """
+
+    index: int
+    labels: tuple[str, ...]
+    label_indices: tuple[int, ...]
+    view_count: int
+    database: SignDatabase
+
+
+def build_shards(database: SignDatabase, num_shards: int) -> list[DatabaseShard]:
+    """Split *database* by sign into at most *num_shards* shards.
+
+    Labels are assigned greedily to the currently-lightest shard by
+    enrolled **view count** (the unit of matching work), largest labels
+    first, with deterministic tie-breaks; each shard's labels keep the
+    full database's enrolment order.  Returns fewer shards than
+    requested when the database has fewer labels — a shard is never
+    empty.
+
+    Raises
+    ------
+    ValueError
+        If *num_shards* is not positive.
+    RuntimeError
+        If the database is empty.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    labels = database.labels
+    if not labels:
+        raise RuntimeError("sign database is empty")
+    view_counts = [len(database.entries(label)) for label in labels]
+    shard_count = min(num_shards, len(labels))
+    assigned: list[list[int]] = [[] for _ in range(shard_count)]
+    loads = [0] * shard_count
+    order = sorted(range(len(labels)), key=lambda i: (-view_counts[i], i))
+    for label_index in order:
+        target = min(range(shard_count), key=lambda s: (loads[s], s))
+        assigned[target].append(label_index)
+        loads[target] += view_counts[label_index]
+    shards = []
+    for shard_index, indices in enumerate(assigned):
+        indices.sort()
+        shard_labels = tuple(labels[i] for i in indices)
+        shards.append(
+            DatabaseShard(
+                index=shard_index,
+                labels=shard_labels,
+                label_indices=tuple(indices),
+                view_count=sum(view_counts[i] for i in indices),
+                database=database.subset(shard_labels),
+            )
+        )
+    return shards
+
+
+def merge_scored(
+    shard_scored: Sequence[Sequence[list[tuple[float, str]]]],
+    shard_label_indices: Sequence[Sequence[int]],
+    label_count: int,
+) -> list[list[tuple[float, str]]]:
+    """Merge per-shard ``score_batch`` outputs into global label order.
+
+    ``shard_scored[s][q]`` is shard *s*'s per-label score list for query
+    *q* (in the shard's own label order); ``shard_label_indices[s]``
+    maps those positions back to the full database's enrolment order.
+    Returns one merged list per query, identical to what the full
+    database's ``score_batch`` would have produced.
+
+    Raises
+    ------
+    ValueError
+        If shards disagree on the query count or the indices do not
+        exactly cover ``range(label_count)``.
+    """
+    covered = sorted(i for indices in shard_label_indices for i in indices)
+    if covered != list(range(label_count)):
+        raise ValueError("shard label indices must partition the label range")
+    query_counts = {len(scored) for scored in shard_scored}
+    if len(query_counts) > 1:
+        raise ValueError(f"shards returned differing query counts: {query_counts}")
+    queries = query_counts.pop() if query_counts else 0
+    merged: list[list[tuple[float, str]]] = []
+    for q in range(queries):
+        row: list[tuple[float, str] | None] = [None] * label_count
+        for scored, indices in zip(shard_scored, shard_label_indices):
+            for position, pair in zip(indices, scored[q]):
+                row[position] = pair
+        merged.append(row)  # type: ignore[arg-type]
+    return merged
+
+
+def sharded_classify_batch(
+    database: SignDatabase,
+    queries: Sequence[np.ndarray] | np.ndarray,
+    num_shards: int,
+) -> list[MatchResult]:
+    """Classify *queries* by scoring per shard and merging — in process.
+
+    The pure reference implementation of the sharded dataflow (no
+    worker processes): build shards, score the whole batch against each
+    shard, merge into global label order, decide.  Bit-identical to
+    ``database.classify_batch(queries)`` — the property the fuzz tests
+    assert and the cross-process service inherits, since worker
+    processes run exactly this scoring on exactly these shards.
+    """
+    shards = build_shards(database, num_shards)
+    shard_scored = [shard.database.score_batch(queries) for shard in shards]
+    merged = merge_scored(
+        shard_scored,
+        [shard.label_indices for shard in shards],
+        len(database.labels),
+    )
+    return [database.decide_scored(scored) for scored in merged]

@@ -1,0 +1,147 @@
+"""CI bench-trend gate: ``scripts/compare_bench.py`` must actually bite.
+
+Covers the acceptance criterion that an injected parity regression in a
+fresh ``BENCH_*.json`` fails the gate, plus the missing-artifact and
+trend-table behaviour and a run against the repo's real committed
+baselines compared with themselves.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def no_step_summary(monkeypatch):
+    """Under GitHub Actions the script defaults to appending the trend
+    table to the real $GITHUB_STEP_SUMMARY — keep test runs out of it."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+
+# Load the script in isolation rather than putting scripts/ on sys.path
+# (which would shadow same-named modules for the whole pytest session).
+_spec = importlib.util.spec_from_file_location(
+    "repro_scripts_compare_bench", ROOT / "scripts" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+BASELINE = {
+    "smoke": False,
+    "fleet_throughput": {"speedup": 5.2, "outcome_parity": True},
+    "oracle_parity": {"outcomes_equal": True},
+    "sharded_vs_single": {"speedup": 2.4, "parity": True, "gate_enforced": False},
+}
+
+
+def write(directory: Path, name: str, artifact: dict) -> None:
+    directory.mkdir(exist_ok=True)
+    (directory / name).write_text(json.dumps(artifact))
+
+
+def run(tmp_path: Path, extra_args: list[str] | None = None) -> int:
+    args = [
+        "--baseline-dir",
+        str(tmp_path / "base"),
+        "--fresh-dir",
+        str(tmp_path / "fresh"),
+    ]
+    return compare_bench.main(args + (extra_args or []))
+
+
+def test_identical_artifacts_pass(tmp_path, capsys):
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    write(tmp_path / "fresh", "BENCH_x.json", BASELINE)
+    assert run(tmp_path) == 0
+    assert "All parity fields held" in capsys.readouterr().out
+
+
+def test_injected_parity_regression_fails(tmp_path, capsys):
+    """The acceptance criterion: flipping a parity bool fails the gate."""
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    broken = json.loads(json.dumps(BASELINE))
+    broken["fleet_throughput"]["outcome_parity"] = False
+    write(tmp_path / "fresh", "BENCH_x.json", broken)
+    assert run(tmp_path) == 1
+    out = capsys.readouterr().out
+    assert "parity regression" in out
+    assert "fleet_throughput.outcome_parity" in out
+
+
+def test_missing_parity_field_fails(tmp_path, capsys):
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    trimmed = json.loads(json.dumps(BASELINE))
+    del trimmed["oracle_parity"]
+    write(tmp_path / "fresh", "BENCH_x.json", trimmed)
+    assert run(tmp_path) == 1
+    assert "missing from the fresh artifact" in capsys.readouterr().out
+
+
+def test_missing_fresh_artifact_fails(tmp_path, capsys):
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    (tmp_path / "fresh").mkdir()
+    assert run(tmp_path) == 1
+    assert "fresh artifact missing" in capsys.readouterr().out
+
+
+def test_no_baselines_fails(tmp_path):
+    (tmp_path / "base").mkdir()
+    (tmp_path / "fresh").mkdir()
+    assert run(tmp_path) == 1
+
+
+def test_false_baseline_parity_is_not_a_gate(tmp_path):
+    """A field the baseline never asserted cannot regress."""
+    base = {"section": {"parity": False}}
+    fresh = {"section": {"parity": False}}
+    write(tmp_path / "base", "BENCH_x.json", base)
+    write(tmp_path / "fresh", "BENCH_x.json", fresh)
+    assert run(tmp_path) == 0
+
+
+def test_speedup_trend_table_written_to_summary(tmp_path):
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    faster = json.loads(json.dumps(BASELINE))
+    faster["fleet_throughput"]["speedup"] = 6.1
+    write(tmp_path / "fresh", "BENCH_x.json", faster)
+    summary = tmp_path / "summary.md"
+    assert run(tmp_path, ["--summary", str(summary)]) == 0
+    text = summary.read_text()
+    assert "| BENCH_x.json | fleet_throughput.speedup | 5.20x | 6.10x |" in text
+    assert "informational" in text
+
+
+def test_smoke_flag_is_not_treated_as_parity(tmp_path):
+    """Boolean leaves without parity-ish names are ignored."""
+    write(tmp_path / "base", "BENCH_x.json", {"smoke": False, "ok": True})
+    write(tmp_path / "fresh", "BENCH_x.json", {"smoke": True, "ok": False})
+    assert run(tmp_path) == 0
+
+
+def test_repo_baselines_compare_clean_with_themselves(tmp_path):
+    """The committed BENCH_*.json artifacts pass the gate against
+    themselves — proving the real artifacts expose parity fields the
+    gate understands."""
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    baselines = sorted(ROOT.glob("BENCH_*.json"))
+    assert baselines, "repo should commit BENCH_*.json baselines"
+    names = {path.name for path in baselines}
+    assert "BENCH_service.json" in names
+    for path in baselines:
+        (fresh / path.name).write_text(path.read_text())
+    assert compare_bench.main(
+        ["--baseline-dir", str(ROOT), "--fresh-dir", str(fresh)]
+    ) == 0
+
+
+def test_parity_key_detection():
+    assert compare_bench.is_parity_key("outcome_parity")
+    assert compare_bench.is_parity_key("outcomes_equal")
+    assert compare_bench.is_parity_key("labels_identical")
+    assert not compare_bench.is_parity_key("smoke")
+    assert not compare_bench.is_parity_key("gate_enforced")

@@ -1,0 +1,191 @@
+"""Shard construction and the shard-merge parity contract.
+
+The load-bearing suite of :mod:`repro.service.sharding`: sharded
+classification must be **bit-identical** to single-process
+``classify_batch`` for any database shape, shard count and query mix —
+including the configurations where the MINDIST prune actually skips
+views (the mechanism the contract's per-label argument is about).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sax.database import SignDatabase
+from repro.service.sharding import build_shards, merge_scored, sharded_classify_batch
+
+
+def make_database(
+    rng: np.random.Generator,
+    labels: int,
+    series_length: int,
+    max_views: int = 3,
+) -> SignDatabase:
+    """A synthetic database with a varying number of views per label."""
+    database = SignDatabase()
+    for index in range(labels):
+        base = np.cumsum(rng.standard_normal(series_length))
+        for view in range(1 + rng.integers(0, max_views)):
+            database.add(
+                f"sign_{index:02d}",
+                base + 0.05 * np.cumsum(rng.standard_normal(series_length)),
+                view=f"v{view}",
+            )
+    return database
+
+
+def make_queries(
+    database: SignDatabase, rng: np.random.Generator, count: int, series_length: int
+) -> list[np.ndarray]:
+    """Accepts, borderline reads and rejects in one batch."""
+    queries = []
+    labels = database.labels
+    for index in range(count):
+        kind = index % 3
+        if kind == 0:  # near-enrolled: accepted
+            reference = database.entry(labels[index % len(labels)]).series
+            queries.append(reference + 0.02 * rng.standard_normal(series_length))
+        elif kind == 1:  # heavily perturbed: borderline
+            reference = database.entry(labels[(index * 7) % len(labels)]).series
+            queries.append(reference + 0.8 * np.cumsum(rng.standard_normal(series_length)))
+        else:  # random walk: rejected
+            queries.append(np.cumsum(rng.standard_normal(series_length)))
+    return queries
+
+
+class TestBuildShards:
+    def test_partition_covers_all_labels_in_order(self):
+        rng = np.random.default_rng(1)
+        database = make_database(rng, labels=9, series_length=64)
+        shards = build_shards(database, 4)
+        assert len(shards) == 4
+        covered = sorted(i for s in shards for i in s.label_indices)
+        assert covered == list(range(9))
+        for shard in shards:
+            # Ascending global indices => enrolment order preserved.
+            assert list(shard.label_indices) == sorted(shard.label_indices)
+            assert shard.labels == tuple(
+                database.labels[i] for i in shard.label_indices
+            )
+            assert shard.database.labels == list(shard.labels)
+            assert shard.view_count == len(shard.database)
+
+    def test_more_shards_than_labels_caps_at_label_count(self):
+        rng = np.random.default_rng(2)
+        database = make_database(rng, labels=3, series_length=64)
+        shards = build_shards(database, 8)
+        assert len(shards) == 3
+        assert all(len(shard.labels) == 1 for shard in shards)
+
+    def test_view_balanced_assignment(self):
+        database = SignDatabase()
+        rng = np.random.default_rng(3)
+        # One heavy label (5 views) and four light ones (1 view each).
+        for view in range(5):
+            database.add("heavy", np.cumsum(rng.standard_normal(64)), view=f"v{view}")
+        for index in range(4):
+            database.add(f"light_{index}", np.cumsum(rng.standard_normal(64)))
+        shards = build_shards(database, 2)
+        # Greedy balance: heavy alone on one shard, lights together.
+        assert sorted(shard.view_count for shard in shards) == [4, 5]
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(4)
+        database = make_database(rng, labels=2, series_length=64)
+        with pytest.raises(ValueError):
+            build_shards(database, 0)
+        with pytest.raises(RuntimeError):
+            build_shards(SignDatabase(), 2)
+
+
+class TestSubset:
+    def test_subset_preserves_enrolment_order(self):
+        rng = np.random.default_rng(5)
+        database = make_database(rng, labels=5, series_length=64)
+        labels = database.labels
+        # Passing labels in reversed order must not reorder the subset.
+        clone = database.subset(list(reversed(labels[1:4])))
+        assert clone.labels == labels[1:4]
+        assert clone.acceptance_threshold == database.acceptance_threshold
+        assert clone.margin_threshold == database.margin_threshold
+
+    def test_subset_unknown_label_raises(self):
+        rng = np.random.default_rng(6)
+        database = make_database(rng, labels=2, series_length=64)
+        with pytest.raises(KeyError):
+            database.subset(["nope"])
+
+    def test_subset_is_isolated_from_source_mutation(self):
+        rng = np.random.default_rng(7)
+        database = make_database(rng, labels=3, series_length=64)
+        clone = database.subset(database.labels[:2])
+        database.remove(database.labels[0])
+        assert len(clone.labels) == 2
+
+
+class TestMergeScored:
+    def test_merge_restores_global_order(self):
+        scored_a = [[(0.5, "x"), (0.1, "z")]]
+        scored_b = [[(0.3, "y")]]
+        merged = merge_scored([scored_a, scored_b], [(0, 2), (1,)], 3)
+        assert merged == [[(0.5, "x"), (0.3, "y"), (0.1, "z")]]
+
+    def test_merge_rejects_partial_cover(self):
+        with pytest.raises(ValueError, match="partition"):
+            merge_scored([[[(0.1, "x")]]], [(0,)], 2)
+
+    def test_merge_rejects_mismatched_query_counts(self):
+        with pytest.raises(ValueError, match="query counts"):
+            merge_scored([[[(0.1, "x")]], []], [(0,), (1,)], 2)
+
+    def test_merge_empty_batch(self):
+        assert merge_scored([[], []], [(0,), (1,)], 2) == []
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 16])
+    def test_parity_on_wide_database(self, num_shards):
+        rng = np.random.default_rng(8)
+        database = make_database(rng, labels=12, series_length=96)
+        queries = make_queries(database, rng, 24, 96)
+        expected = database.classify_batch(queries)
+        assert sharded_classify_batch(database, queries, num_shards) == expected
+
+    def test_parity_fuzz_random_shapes(self):
+        """Random database shapes x shard counts x query mixes.
+
+        Exact ``MatchResult`` equality — distances are compared
+        bit-for-bit, so any drift in the shard scoring or merge order
+        (including stable-sort tie-breaks) fails loudly.
+        """
+        rng = np.random.default_rng(2024)
+        for case in range(25):
+            labels = int(rng.integers(1, 10))
+            series_length = int(rng.choice([40, 64, 96, 100]))
+            database = make_database(rng, labels, series_length)
+            queries = make_queries(
+                database, rng, int(rng.integers(1, 12)), series_length
+            )
+            num_shards = int(rng.integers(1, labels + 3))
+            expected = database.classify_batch(queries)
+            got = sharded_classify_batch(database, queries, num_shards)
+            assert got == expected, (
+                f"case {case}: {labels} labels, n={series_length}, "
+                f"{num_shards} shards"
+            )
+
+    def test_parity_on_canonical_recognizer_database(self, canonical_recognizer):
+        """The real 3-sign canonical database shards bit-identically."""
+        database = canonical_recognizer.database
+        rng = np.random.default_rng(9)
+        references = [database.entry(label).series for label in database.labels]
+        n = len(references[0])
+        queries = [ref + 0.05 * rng.standard_normal(n) for ref in references]
+        queries.append(np.cumsum(rng.standard_normal(n)))
+        expected = database.classify_batch(queries)
+        for num_shards in (1, 2, 3, 4):
+            assert sharded_classify_batch(database, queries, num_shards) == expected
+
+    def test_parity_empty_batch(self):
+        rng = np.random.default_rng(10)
+        database = make_database(rng, labels=4, series_length=64)
+        assert sharded_classify_batch(database, [], 2) == []
