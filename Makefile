@@ -34,8 +34,8 @@ lint:
 
 # Fail if any public function/class/method in repro.vision,
 # repro.recognition, repro.sax, repro.simulation, repro.mission,
-# repro.protocol or repro.service lacks a docstring (see
-# docs/ARCHITECTURE.md).
+# repro.protocol, repro.service or repro.dataflow lacks a docstring
+# (see docs/ARCHITECTURE.md).
 docs-check:
 	$(PYTHON) scripts/check_docstrings.py
 

@@ -22,6 +22,10 @@ Three sections:
   asserted, including in smoke mode.
 * **perception** — cache/batch counters and the cumulative FrameBudget
   split of the shared perception core.
+* **nodes** — per-stage latency and channel occupancy from the fleet
+  pipeline graph (:mod:`repro.mission.pipeline`): one entry per
+  dataflow node (``world`` … ``mission``), asserted present even in
+  smoke mode so the bench-trend job can gate on stage coverage.
 
 Set ``BENCH_SMOKE=1`` for a reduced fleet with the perf gate disabled
 (both parity checks stay on).
@@ -38,6 +42,7 @@ from pathlib import Path
 
 from repro.mission.fleet import FleetScheduler, build_fleet
 from repro.mission.orchard import OrchardConfig
+from repro.mission.pipeline import FLEET_STAGES
 from repro.protocol.negotiation import NegotiationConfig
 from repro.simulation.scenarios import CALM, NOON
 
@@ -149,6 +154,9 @@ def measure() -> dict:
 
     stats = batch_report.perception_stats
     budget = batch_report.perception_budget
+    graph = batch_report.graph_stats.as_dict()
+    missing = [stage for stage in FLEET_STAGES if stage not in graph["nodes"]]
+    assert not missing, f"fleet graph metrics missing stages: {missing}"
     return {
         "smoke": SMOKE,
         "fleet_size": FLEET_SIZE,
@@ -184,6 +192,7 @@ def measure() -> dict:
                 for t in _summed_stages(budget)
             },
         },
+        "nodes": graph,
     }
 
 
@@ -202,6 +211,10 @@ def test_fleet_throughput_and_parity():
     stats = measure()
     assert stats["fleet_throughput"]["outcome_parity"]
     assert stats["oracle_parity"]["outcomes_equal"]
+    assert set(stats["nodes"]["nodes"]) == set(FLEET_STAGES)
+    assert all(
+        entry["ticks"] > 0 for entry in stats["nodes"]["nodes"].values()
+    ), "every pipeline node must have run"
     if not SMOKE:
         assert stats["fleet_throughput"]["speedup"] >= FLEET_SPEEDUP_GATE
 
@@ -227,6 +240,9 @@ if __name__ == "__main__":
         f"{stats['oracle_parity']['outcomes_equal']} "
         f"({stats['oracle_parity']['fleet_size']} missions)"
     )
+    nodes = stats["nodes"]["nodes"]
+    split = "  ".join(f"{name} {entry['busy_s']:.2f}s" for name, entry in nodes.items())
+    print(f"  node stages: {split}")
     print(f"  wrote {artifact.name}")
     if SMOKE:
         print("  smoke mode: perf gate disabled")

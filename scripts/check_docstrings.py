@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Docs gate: the public API of ``repro.vision``, ``repro.recognition``,
 ``repro.sax``, ``repro.simulation``, ``repro.mission``,
-``repro.protocol`` and ``repro.service`` must be documented.
+``repro.protocol``, ``repro.service`` and ``repro.dataflow`` must be
+documented.
 
 Checks, for every module in the covered packages:
 
@@ -34,6 +35,7 @@ DEFAULT_PACKAGES = (
     "repro.mission",
     "repro.protocol",
     "repro.service",
+    "repro.dataflow",
 )
 
 

@@ -12,10 +12,16 @@ nightly run) and
   ``equal`` or ``identical``, e.g. ``outcome_parity``,
   ``outcomes_equal``) must still be present and ``true`` in the fresh
   artifact;
+* **fails on lost pipeline stages**: every dataflow node named in a
+  baseline artifact's ``nodes.nodes`` section (the per-stage metrics
+  ``bench_fleet.py`` rolls up from the fleet pipeline graph) must still
+  appear in the fresh artifact — a stage disappearing means the graph
+  lost instrumentation coverage;
 * posts a **speedup-trend table** (every ``speedup`` leaf, baseline vs
-  fresh) to ``$GITHUB_STEP_SUMMARY`` — informational only: smoke runs
-  use reduced sizes, so absolute speedups differ from the committed
-  full-run baselines by design.
+  fresh) and a **per-node stage-timing table** (busy seconds and mean
+  tick latency per pipeline node) to ``$GITHUB_STEP_SUMMARY`` —
+  informational only: smoke runs use reduced sizes, so absolute
+  timings differ from the committed full-run baselines by design.
 
 Usage::
 
@@ -71,6 +77,15 @@ def speedup_leaves(artifact: dict) -> dict[str, float]:
     }
 
 
+def node_metrics(artifact: dict) -> dict[str, dict]:
+    """The per-node stage metrics of *artifact* (empty when absent)."""
+    nodes = artifact.get("nodes")
+    if not isinstance(nodes, dict):
+        return {}
+    inner = nodes.get("nodes")
+    return inner if isinstance(inner, dict) else {}
+
+
 def compare_artifact(name: str, baseline: dict, fresh: dict) -> list[str]:
     """Regressions (as human-readable strings) between two artifacts."""
     regressions = []
@@ -87,6 +102,13 @@ def compare_artifact(name: str, baseline: dict, fresh: dict) -> list[str]:
             regressions.append(
                 f"{name}: parity regression — '{path}' was true in the "
                 f"baseline, got {fresh_parity[path]!r}"
+            )
+    fresh_nodes = node_metrics(fresh)
+    for node_name in node_metrics(baseline):
+        if node_name not in fresh_nodes:
+            regressions.append(
+                f"{name}: pipeline node '{node_name}' has baseline metrics "
+                f"but is missing from the fresh artifact (stage coverage lost)"
             )
     return regressions
 
@@ -115,6 +137,36 @@ def trend_table(results: list[tuple[str, dict, dict]]) -> str:
         "informational; parity fields are the gate.\n"
     )
     return header + "\n".join(rows) + "\n" + note
+
+
+def node_table(results: list[tuple[str, dict, dict]]) -> str:
+    """Markdown per-node stage-timing table (empty when no artifact
+    carries pipeline node metrics)."""
+    rows = []
+    for name, baseline, fresh in results:
+        base_nodes = node_metrics(baseline)
+        fresh_nodes = node_metrics(fresh)
+        for node_name in {**base_nodes, **fresh_nodes}:
+            base = base_nodes.get(node_name)
+            new = fresh_nodes.get(node_name)
+
+            def cell(entry):
+                if entry is None:
+                    return "—"
+                return (
+                    f"{entry.get('busy_s', 0.0):.3f}s "
+                    f"({entry.get('mean_tick_ms', 0.0):.2f} ms/tick)"
+                )
+
+            rows.append(f"| {name} | {node_name} | {cell(base)} | {cell(new)} |")
+    if not rows:
+        return ""
+    header = (
+        "\n### Pipeline node timings\n\n"
+        "| artifact | node | baseline (full run) | fresh |\n"
+        "|---|---|---|---|\n"
+    )
+    return header + "\n".join(rows) + "\n"
 
 
 def main(argv: list[str]) -> int:
@@ -167,7 +219,7 @@ def main(argv: list[str]) -> int:
         compared.append((name, baseline, fresh))
 
     table = trend_table(compared)
-    summary = "## Bench trend\n\n" + table
+    summary = "## Bench trend\n\n" + table + node_table(compared)
     if regressions:
         summary += "\n### Regressions\n\n" + "".join(
             f"- ❌ {item}\n" for item in regressions

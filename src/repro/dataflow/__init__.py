@@ -1,0 +1,40 @@
+"""DORA-style dataflow runtime: typed nodes, bounded channels, graphs.
+
+The fleet tick path used to be a lockstep monolith inside the
+scheduler; this package decomposes such pipelines into explicit
+:class:`~repro.dataflow.node.Node`\\ s joined by typed, bounded
+:class:`~repro.dataflow.channel.Channel`\\ s and executed by a
+:class:`~repro.dataflow.graph.Graph` — a tick-synchronous schedule
+today, placement-agnostic by construction (nodes only see port items,
+so stages can later move to threads, worker processes, or behind the
+recognition service without touching their bodies).  Per-node latency
+and per-channel queue-occupancy metrics are built into the runtime;
+see the "Dataflow runtime" section of ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.dataflow.channel import (
+    Channel,
+    ChannelFullError,
+    ChannelPolicy,
+    ChannelStats,
+)
+from repro.dataflow.graph import Graph, GraphError, GraphStats, NodeFailure
+from repro.dataflow.node import FunctionNode, Node, NodeMetrics, NodeStats, Port
+from repro.dataflow.stages import DynamicDecodeNode, FrameChunk
+
+__all__ = [
+    "Channel",
+    "ChannelFullError",
+    "ChannelPolicy",
+    "ChannelStats",
+    "DynamicDecodeNode",
+    "FrameChunk",
+    "FunctionNode",
+    "Graph",
+    "GraphError",
+    "GraphStats",
+    "NodeFailure",
+    "NodeMetrics",
+    "NodeStats",
+    "Port",
+]

@@ -15,6 +15,7 @@ from repro.mission.fleet import (
 )
 from repro.mission.flytrap import FlyTrap, TrapReading
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
+from repro.mission.pipeline import FleetTick, PerceptionBatch, build_fleet_graph
 from repro.mission.planner import RoutePlan, plan_route, tour_length
 from repro.mission.visualize import MapStyle, render_map, render_mission_summary
 
@@ -25,7 +26,10 @@ __all__ = [
     "FleetMission",
     "FleetReport",
     "FleetScheduler",
+    "FleetTick",
+    "PerceptionBatch",
     "build_fleet",
+    "build_fleet_graph",
     "mission_transcript",
     "MissionExecutor",
     "MissionPhase",

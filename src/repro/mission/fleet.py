@@ -6,23 +6,30 @@ registers the executor as a world entity and loops ``world.step()`` —
 one drone, one orchard, perception answered synchronously inside the
 loop.  A fleet of N such missions run that way costs N sequential
 per-frame recognitions.  This module restructures the mission layer as
-a *schedulable dataflow* instead:
+a *schedulable dataflow* instead: the fleet tick is a seven-stage
+:mod:`repro.dataflow` pipeline (:mod:`repro.mission.pipeline`) —
 
-1. every mission's world advances one tick (entities only — the
-   executor is driven by the scheduler, not the world);
-2. each executor *predicts* the perception query its next step will
-   issue (:meth:`~repro.mission.executor.MissionExecutor.pending_observation`);
-3. all predicted queries across the fleet are resolved by **one**
-   batched recogniser pass
-   (:meth:`~repro.protocol.recognizer.RecognizerPerception.prefetch`);
-4. every executor steps (:meth:`~repro.mission.executor.MissionExecutor.tick`),
-   its ``observe`` calls answered from the just-filled cache.
+``world → predict → lookup → render → preprocess → match → mission``
+
+— in which every mission's world advances one tick, each executor
+*predicts* the perception query its next step will issue
+(:meth:`~repro.mission.executor.MissionExecutor.pending_observation`),
+all predicted queries across the fleet are deduplicated, rendered,
+preprocessed and matched by **one** batched recogniser pass, and every
+executor then steps
+(:meth:`~repro.mission.executor.MissionExecutor.tick`), its ``observe``
+calls answered from the just-filled cache.  :class:`FleetScheduler` is
+a thin driver over that graph: one scheduler tick is one graph tick.
 
 Because the prefetched answers are bit-identical to what a synchronous
 call would compute (same pose, same quantised camera, same batched
-kernels), a fleet run replays each mission *exactly* as a sequential
-run would — ``benchmarks/bench_fleet.py`` asserts this and gates the
-throughput win.
+kernels) and the graph's topological schedule is
+execution-order-identical to the old lockstep loop, a fleet run
+replays each mission *exactly* as a sequential run would —
+``benchmarks/bench_fleet.py`` asserts this and gates the throughput
+win, and the golden mission transcripts pin it byte-for-byte.  The
+graph adds per-node latency and channel-occupancy metrics
+(``FleetReport.graph_stats``) on top.
 
 Scenario diversity comes from :mod:`repro.simulation.scenarios`: each
 mission draws a wind condition (the stochastic flight-dynamics model of
@@ -36,17 +43,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
+from repro.dataflow.graph import Graph, GraphStats
 from repro.drone.agent import DroneAgent
 from repro.geometry.vec import Vec2
 from repro.mission.executor import MissionExecutor, MissionReport
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
+from repro.mission.pipeline import build_fleet_graph
 from repro.protocol.negotiation import NegotiationConfig
 from repro.protocol.perception import OraclePerception, Perception
-from repro.protocol.recognizer import (
-    ObservationQuery,
-    PerceptionStats,
-    RecognizerPerception,
-)
+from repro.protocol.recognizer import PerceptionStats, RecognizerPerception
 from repro.recognition.budget import BudgetReport
 from repro.recognition.pipeline import SaxSignRecognizer
 from repro.service import RecognitionService, ServiceStats
@@ -107,6 +112,7 @@ class FleetReport:
     perception_stats: PerceptionStats | None = None
     perception_budget: BudgetReport | None = None
     service_stats: ServiceStats | None = None
+    graph_stats: GraphStats | None = None
 
     @property
     def missions(self) -> int:
@@ -133,10 +139,13 @@ class FleetScheduler:
     """Steps N independent missions on a shared clock.
 
     All mission worlds must share one fixed time step; the scheduler
-    keeps them in lockstep and, when the missions' perceptions are
+    wires them into the seven-stage fleet pipeline graph
+    (:func:`~repro.mission.pipeline.build_fleet_graph`) and drives one
+    graph tick per fleet tick — worlds step, queries are predicted and
+    grouped, and when the missions' perceptions are
     :class:`~repro.protocol.recognizer.RecognizerPerception` views of a
-    shared core, resolves every mission's perception query for the tick
-    through a single batched recogniser call.
+    shared core, every mission's perception query for the tick resolves
+    through a single batched recogniser pass before the executors step.
 
     Parameters
     ----------
@@ -144,13 +153,19 @@ class FleetScheduler:
         The fleet.  Executors must not be registered as world entities
         (the scheduler drives them; :func:`build_fleet` wires this).
     batch_perception:
-        Aggregate per-tick perception queries into one batched prefetch
-        (set ``False`` to measure the unbatched scheduler).
+        Aggregate per-tick perception queries into one batched
+        recognition pass (set ``False`` to measure the unbatched
+        scheduler — observations then resolve synchronously inside the
+        ``mission`` stage).
     service:
         A :class:`~repro.service.RecognitionService` whose lifecycle
         this scheduler *owns* — started by :func:`build_fleet` when
         ``workers > 0``; stopped when :meth:`run` finishes (or fails)
         and by :meth:`close`.
+
+    The scheduler is a context manager: ``with`` guarantees
+    :meth:`close` (graph and owned service released) even when a
+    pipeline node raises mid-tick.
     """
 
     def __init__(
@@ -171,8 +186,12 @@ class FleetScheduler:
         self.batch_perception = batch_perception
         self.service = service
         self.time_step_s = steps.pop()
+        self._graph = build_fleet_graph(
+            self.missions, batch_perception=batch_perception
+        )
         self._ticks = 0
         self._started = False
+        self._closed = False
 
     # -- properties -------------------------------------------------------------------
 
@@ -196,6 +215,16 @@ class FleetScheduler:
         """Missions still flying."""
         return [m for m in self.missions if not m.finished]
 
+    @property
+    def graph(self) -> Graph:
+        """The fleet pipeline graph this scheduler drives."""
+        return self._graph
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
     # -- control ----------------------------------------------------------------------
 
     def start(self) -> None:
@@ -209,20 +238,24 @@ class FleetScheduler:
     def tick(self) -> int:
         """Advance the whole fleet by one shared-clock step.
 
-        Worlds step first (drones, humans, traps, wind), then all
-        missions' predicted perception queries are batch-resolved, then
-        every executor steps.  Returns the number of still-active
-        missions.
+        Runs one sweep of the fleet pipeline graph: worlds step first
+        (drones, humans, traps, wind), then all missions' predicted
+        perception queries are batch-resolved through the recognition
+        stages, then every executor steps.  Returns the number of
+        still-active missions.
+
+        A node raising mid-tick fails loudly
+        (:class:`~repro.dataflow.graph.NodeFailure`) after the graph
+        has drained its channels and closed its nodes; the owned
+        recognition service is released too.
         """
         if not self._started:
             raise RuntimeError("call start() before tick()")
-        active = self.active_missions
-        for mission in active:
-            mission.world.step()
-        if self.batch_perception:
-            self._prefetch(active)
-        for mission in active:
-            mission.executor.tick(mission.world)
+        try:
+            self._graph.tick()
+        except BaseException:
+            self.close()
+            raise
         self._ticks += 1
         return len(self.active_missions)
 
@@ -251,13 +284,30 @@ class FleetScheduler:
             self.close()
 
     def close(self) -> None:
-        """Stop the owned recognition service, if any.  Idempotent.
+        """Close the pipeline graph and stop the owned recognition
+        service, if any.  Idempotent.
 
-        Counters stay readable after close — :meth:`report` still
-        includes the final :class:`~repro.service.ServiceStats`.
+        The service is stopped even when closing a graph node raises,
+        so graph-owned resources are always released.  Counters stay
+        readable after close — :meth:`report` still includes the final
+        :class:`~repro.service.ServiceStats` and graph stats.
         """
-        if self.service is not None:
-            self.service.stop()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._graph.close()
+        finally:
+            if self.service is not None:
+                self.service.stop()
+
+    def __enter__(self) -> "FleetScheduler":
+        """Context-manager entry: returns the scheduler."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: always :meth:`close`."""
+        self.close()
 
     def report(self) -> FleetReport:
         """Summarise the fleet's current state.
@@ -282,31 +332,8 @@ class FleetScheduler:
             perception_stats=stats,
             perception_budget=budget,
             service_stats=self.service.stats if self.service is not None else None,
+            graph_stats=self._graph.stats(),
         )
-
-    # -- internals ----------------------------------------------------------------------
-
-    def _prefetch(self, active: Sequence[FleetMission]) -> None:
-        """Batch-resolve this tick's perception queries across missions.
-
-        Queries are grouped by shared perception core, so one fleet
-        whose missions all view a single core costs one batched call.
-        """
-        grouped: dict[int, tuple[RecognizerPerception, list[ObservationQuery]]] = {}
-        for mission in active:
-            perception = mission.perception
-            if not isinstance(perception, RecognizerPerception):
-                continue
-            pending = mission.executor.pending_observation(mission.world)
-            if pending is None:
-                continue
-            position, human = pending
-            query = perception.query(position, human)
-            if query is None:
-                continue
-            grouped.setdefault(perception.core_key, (perception, []))[1].append(query)
-        for perception, queries in grouped.values():
-            perception.prefetch(queries)
 
 
 def build_fleet(

@@ -63,6 +63,7 @@ from repro.recognition.pipeline import (
     SaxSignRecognizer,
     observation_elevation_deg,
 )
+from repro.recognition.preprocess import preprocess_frames
 from repro.vision.image import Image
 
 if TYPE_CHECKING:  # pragma: no cover — import would be cycle-free but lazy
@@ -78,6 +79,18 @@ __all__ = [
 # Drone camera intrinsics used for every mission observation (matches
 # SaxPerception and the canonical enrolment views).
 _OBSERVATION_INTRINSICS = CameraIntrinsics(240, 240, 280.0)
+
+
+def _label_to_sign(label: str | None) -> MarshallingSign | None:
+    """Map a database label onto the built-in sign enum, exactly as
+    :attr:`~repro.recognition.pipeline.Recognition.sign` does (``None``
+    for rejections and custom labels)."""
+    if label is None:
+        return None
+    try:
+        return MarshallingSign(label)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True, slots=True)
@@ -259,40 +272,112 @@ class _PerceptionCore:
         self.cache.move_to_end(query)
         return True, self.cache[query]
 
+    def miss_filter(
+        self, queries: Sequence[ObservationQuery | None]
+    ) -> list[ObservationQuery]:
+        """The deduplicated cache misses of *queries*, in order.
+
+        Drops ``None`` entries and already-cached queries (touching
+        their LRU slots exactly as a lookup would); empty when
+        memoisation is off, since there is no cache to fill.
+        """
+        if not self.memoize:
+            return []
+        misses: list[ObservationQuery] = []
+        seen: set[ObservationQuery] = set()
+        for query in queries:
+            if query is None or query in seen:
+                continue
+            seen.add(query)
+            hit, _ = self.lookup(query)
+            if not hit:
+                misses.append(query)
+        return misses
+
     def classify(self, queries: Sequence[ObservationQuery]) -> list[MarshallingSign | None]:
         """Render and classify *queries* (already deduplicated misses).
 
-        One batched ``preprocess_frames`` + ``classify_batch`` pass in
-        the default mode; the scalar :meth:`SaxSignRecognizer.recognise`
-        per frame when ``per_frame`` is set (the naive reference loop
-        the fleet benchmark compares against).
+        Composes the granular stage methods the fleet pipeline wires as
+        dataflow nodes — :meth:`render_queries`,
+        :meth:`preprocess_rendered`, :meth:`match_preprocessed` — in
+        the default batched mode; the scalar
+        :meth:`SaxSignRecognizer.recognise` per frame when ``per_frame``
+        is set (the naive reference loop the fleet benchmark compares
+        against).
         """
         if not queries:
             return []
+        frames = self.render_queries(queries)
+        if self.per_frame:
+            with self.budget.stage("classify"):
+                results = [
+                    self.recognizer.recognise(frame, elevation_deg=query.elevation_deg)
+                    for query, frame in zip(queries, frames)
+                ]
+            self._fold_substages(results)
+            return self._finish(queries, [result.sign for result in results])
+        pres = self.preprocess_rendered(queries, frames)
+        return self.match_preprocessed(queries, pres)
+
+    def render_queries(self, queries: Sequence[ObservationQuery]) -> list[Image]:
+        """Render every query's frame, timed as the ``render`` stage."""
         with self.budget.stage("render"):
-            frames = [query.render() for query in queries]
+            return [query.render() for query in queries]
+
+    def preprocess_rendered(
+        self, queries: Sequence[ObservationQuery], frames: Sequence[Image]
+    ) -> list:
+        """Run the batched vision front-end over rendered query frames.
+
+        One :func:`~repro.recognition.preprocess.preprocess_frames`
+        call over the whole batch, timed as the ``classify.preprocess``
+        sub-stage; returns the per-frame ``PreprocessResult`` list.
+        """
         elevations = [query.elevation_deg for query in queries]
         with self.budget.stage("classify"):
-            if self.per_frame:
-                results = [
-                    self.recognizer.recognise(frame, elevation_deg=elevation)
-                    for frame, elevation in zip(frames, elevations)
-                ]
-            else:
-                # Service-backed mode routes the sax_match stage through
-                # the shard pool; results stay bit-identical (sharding-
-                # parity contract), so the two modes are interchangeable.
-                classifier = (
-                    self.service.classify_batch if self.service is not None else None
+            with self.budget.substage("preprocess"):
+                return preprocess_frames(
+                    frames,
+                    self.recognizer.preprocess_settings,
+                    elevation_deg=elevations,
                 )
-                results = self.recognizer.recognize_batch(
-                    frames, elevation_deg=elevations, classifier=classifier
-                )
-                self.batch_calls += 1
-        self._fold_substages(results)
-        self.frames_classified += len(frames)
+
+    def match_preprocessed(
+        self, queries: Sequence[ObservationQuery], pres: Sequence
+    ) -> list[MarshallingSign | None]:
+        """SAX-match preprocessed queries and fill the result cache.
+
+        One batched database call over the usable series (routed
+        through the shard-worker pool in service-backed mode — results
+        stay bit-identical by the sharding-parity contract), timed as
+        the ``classify.sax_match`` sub-stage.  Per-frame verdicts map
+        onto :class:`~repro.human.signs.MarshallingSign` exactly as
+        :attr:`~repro.recognition.pipeline.Recognition.sign` does;
+        unusable frames (no silhouette) read ``None``.
+        """
+        usable = [pre.series for pre in pres if pre.ok]
+        classifier = (
+            self.service.classify_batch
+            if self.service is not None
+            else self.recognizer.database.classify_batch
+        )
+        with self.budget.stage("classify"):
+            with self.budget.substage("sax_match"):
+                matches = iter(classifier(usable) if usable else [])
+            self.batch_calls += 1
+        signs: list[MarshallingSign | None] = []
+        for pre in pres:
+            signs.append(_label_to_sign(next(matches).label) if pre.ok else None)
+        return self._finish(queries, signs)
+
+    def _finish(
+        self,
+        queries: Sequence[ObservationQuery],
+        signs: list[MarshallingSign | None],
+    ) -> list[MarshallingSign | None]:
+        """Account classified frames and fill the LRU cache."""
+        self.frames_classified += len(queries)
         self.budget.frame_count = max(1, self.frames_classified)
-        signs = [result.sign for result in results]
         if self.memoize:
             for query, sign in zip(queries, signs):
                 self.cache[query] = sign
@@ -479,20 +564,47 @@ class RecognizerPerception:
         Returns the number of frames actually classified.  No-op when
         memoisation is off (there is no cache to fill).
         """
-        core = self._core
-        if not core.memoize:
-            return 0
-        misses: list[ObservationQuery] = []
-        seen: set[ObservationQuery] = set()
-        for query in queries:
-            if query is None or query in seen:
-                continue
-            seen.add(query)
-            hit, _ = core.lookup(query)
-            if not hit:
-                misses.append(query)
-        core.classify(misses)
+        misses = self._core.miss_filter(queries)
+        self._core.classify(misses)
         return len(misses)
+
+    # -- pipeline-node seams ------------------------------------------------------------
+    #
+    # The fleet dataflow graph (repro.mission.pipeline) decomposes
+    # prefetch() into one node per stage; these methods are the seams
+    # those nodes call.  classify()/prefetch() compose the very same
+    # methods, so the graph path cannot diverge from the direct path.
+
+    @property
+    def per_frame(self) -> bool:
+        """``True`` in the scalar per-frame reference mode (no batching)."""
+        return self._core.per_frame
+
+    def pending_misses(
+        self, queries: Sequence[ObservationQuery | None]
+    ) -> list[ObservationQuery]:
+        """Node seam: deduplicated cache misses of *queries*, in order
+        (empty when memoisation is off — nothing to prefetch)."""
+        return self._core.miss_filter(queries)
+
+    def render_batch(self, misses: Sequence[ObservationQuery]) -> list[Image]:
+        """Node seam: render every missed query's frame (``render`` stage)."""
+        return self._core.render_queries(misses)
+
+    def preprocess_batch(
+        self, misses: Sequence[ObservationQuery], frames: Sequence[Image]
+    ) -> list:
+        """Node seam: batched vision front-end over rendered frames
+        (``classify.preprocess`` sub-stage)."""
+        return self._core.preprocess_rendered(misses, frames)
+
+    def match_batch(
+        self, misses: Sequence[ObservationQuery], pres: Sequence
+    ) -> list[MarshallingSign | None]:
+        """Node seam: batched SAX match + result-cache fill
+        (``classify.sax_match`` sub-stage; service-routed when
+        service-backed)."""
+        return self._core.match_preprocessed(misses, pres)
 
     # -- reporting ----------------------------------------------------------------------
 

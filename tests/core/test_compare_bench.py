@@ -139,6 +139,55 @@ def test_repo_baselines_compare_clean_with_themselves(tmp_path):
     ) == 0
 
 
+NODED = {
+    "fleet_throughput": {"speedup": 5.2, "outcome_parity": True},
+    "nodes": {
+        "ticks": 100,
+        "nodes": {
+            "world": {"busy_s": 0.5, "mean_tick_ms": 5.0, "ticks": 100},
+            "match": {"busy_s": 2.0, "mean_tick_ms": 20.0, "ticks": 100},
+        },
+        "channels": {},
+    },
+}
+
+
+def test_lost_pipeline_node_fails(tmp_path, capsys):
+    """A stage present in the baseline's node metrics must stay present."""
+    write(tmp_path / "base", "BENCH_fleet.json", NODED)
+    trimmed = json.loads(json.dumps(NODED))
+    del trimmed["nodes"]["nodes"]["match"]
+    write(tmp_path / "fresh", "BENCH_fleet.json", trimmed)
+    assert run(tmp_path) == 1
+    assert "stage coverage lost" in capsys.readouterr().out
+
+
+def test_new_pipeline_node_is_not_a_regression(tmp_path):
+    write(tmp_path / "base", "BENCH_fleet.json", NODED)
+    grown = json.loads(json.dumps(NODED))
+    grown["nodes"]["nodes"]["render"] = {"busy_s": 1.0, "mean_tick_ms": 10.0}
+    write(tmp_path / "fresh", "BENCH_fleet.json", grown)
+    assert run(tmp_path) == 0
+
+
+def test_node_timing_table_written_to_summary(tmp_path):
+    write(tmp_path / "base", "BENCH_fleet.json", NODED)
+    write(tmp_path / "fresh", "BENCH_fleet.json", NODED)
+    summary = tmp_path / "summary.md"
+    assert run(tmp_path, ["--summary", str(summary)]) == 0
+    text = summary.read_text()
+    assert "Pipeline node timings" in text
+    assert "| BENCH_fleet.json | match | 2.000s (20.00 ms/tick) |" in text
+
+
+def test_artifacts_without_node_metrics_skip_node_table(tmp_path):
+    write(tmp_path / "base", "BENCH_x.json", BASELINE)
+    write(tmp_path / "fresh", "BENCH_x.json", BASELINE)
+    summary = tmp_path / "summary.md"
+    assert run(tmp_path, ["--summary", str(summary)]) == 0
+    assert "Pipeline node timings" not in summary.read_text()
+
+
 def test_parity_key_detection():
     assert compare_bench.is_parity_key("outcome_parity")
     assert compare_bench.is_parity_key("outcomes_equal")

@@ -1,0 +1,86 @@
+"""Recognition-stage nodes: chunked decode through a graph is
+bit-identical to one-shot window decoding."""
+
+import pytest
+
+from repro.dataflow import DynamicDecodeNode, FrameChunk, Graph, Node, Port
+from repro.geometry import observation_camera
+from repro.human import WAVE_OFF, RenderSettings, render_frame
+from repro.recognition.pipeline import observation_elevation_deg
+
+CAMERA = observation_camera(5.0, 3.0, 0.0)
+ELEVATION = observation_elevation_deg(5.0, 3.0)
+SETTINGS = RenderSettings(noise_sigma=0.02)
+HZ = 8.0
+
+
+class ChunkSource(Node):
+    """Source emitting one preloaded frame chunk per tick."""
+
+    outputs = (Port("chunks", FrameChunk),)
+
+    def __init__(self, chunks, name="camera"):
+        super().__init__(name)
+        self._chunks = list(chunks)
+
+    def process(self, inputs):
+        if not self._chunks:
+            return {}
+        return {"chunks": [self._chunks.pop(0)]}
+
+
+class VerdictSink(Node):
+    """Sink keeping every cumulative verdict."""
+
+    inputs = (Port("verdicts", object),)
+
+    def __init__(self, name="sink"):
+        super().__init__(name)
+        self.verdicts = []
+
+    def process(self, inputs):
+        self.verdicts.extend(inputs["verdicts"])
+        return {}
+
+
+@pytest.fixture
+def frames(enrolled_dynamic_recognizer):
+    return [
+        render_frame(WAVE_OFF.pose_at(k / HZ), CAMERA, SETTINGS) for k in range(48)
+    ]
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 16, 48])
+def test_chunked_node_decode_equals_whole_window(
+    enrolled_dynamic_recognizer, frames, chunk
+):
+    recognizer = enrolled_dynamic_recognizer
+    whole = recognizer.recognize_window(frames, sample_hz=HZ, elevation_deg=ELEVATION)
+    chunks = [
+        FrameChunk(frames[start : start + chunk])
+        for start in range(0, len(frames), chunk)
+    ]
+    sink = VerdictSink()
+    graph = Graph("stream")
+    source = graph.add(ChunkSource(chunks))
+    decode = graph.add(
+        DynamicDecodeNode(
+            "decode", recognizer, elevation_deg=ELEVATION, sample_hz=HZ
+        )
+    )
+    graph.add(sink)
+    graph.connect(source, "chunks", decode, "chunks")
+    graph.connect(decode, "verdicts", sink, "verdicts")
+    graph.validate()
+    graph.drain()
+    final = sink.verdicts[-1]
+    assert final.observations == whole.observations
+    assert (final.sign_name, final.cycles_seen) == (whole.sign_name, whole.cycles_seen)
+    assert final.sign_name == "wave_off"
+    assert graph.stats().node("decode").items_in == len(chunks)
+
+
+def test_decode_node_stream_opens_lazily(enrolled_dynamic_recognizer):
+    node = DynamicDecodeNode("decode", enrolled_dynamic_recognizer)
+    assert node._stream is None
+    assert node.stream is node.stream  # opened once, then reused
