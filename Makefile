@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-service bench-smoke check
+.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-service bench-longtail bench-smoke fuzz check
 
 # Everything the ruff gate covers — named explicitly so benchmarks/ and
 # scripts/ can never silently drop out of the lint surface.  Update when
@@ -74,6 +74,12 @@ bench-fleet:
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
 
+# Regenerate BENCH_longtail.json (surveillance fleet under bursty
+# intruder load + long-tail window throughput; determinism assertions
+# are unconditional; see docs/BENCHMARKS.md).
+bench-longtail:
+	$(PYTHON) benchmarks/bench_longtail.py
+
 # Reduced-size benchmark runs with perf gates disabled (parity checks
 # stay on) — the CI smoke job uses this so bench scripts cannot rot,
 # then diffs the artifacts against the committed baselines with
@@ -83,5 +89,17 @@ bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_dynamic_batch.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_fleet.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_service.py
+	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_longtail.py
+
+# Seeded long-tail fuzz: randomized adversarial scenarios through the
+# full recognition + fleet stack, safety invariants asserted, failures
+# auto-minimised into fuzz-artifacts/ (exit 1 on any violation).  The
+# same FUZZ_SEED reproduces the same scenarios, verdicts and minimised
+# case bytes; tier-1 replays only the committed corpus in
+# tests/data/longtail/ — the open-ended search runs nightly.
+FUZZ_SEED ?= 0
+FUZZ_ITERATIONS ?= 25
+fuzz:
+	$(PYTHON) scripts/run_fuzz.py --seed $(FUZZ_SEED) --iterations $(FUZZ_ITERATIONS)
 
 check: lint docs-check test

@@ -36,6 +36,7 @@ DEFAULT_PACKAGES = (
     "repro.protocol",
     "repro.service",
     "repro.dataflow",
+    "repro.testing",
 )
 
 

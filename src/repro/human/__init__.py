@@ -29,7 +29,7 @@ from repro.human.pose import (
     pose_for_sign,
     pose_with_arms,
 )
-from repro.human.render import RenderSettings, render_frame, render_silhouette
+from repro.human.render import RenderSettings, render_frame, render_scene, render_silhouette
 from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "pose_for_sign",
     "RenderSettings",
     "render_frame",
+    "render_scene",
     "render_silhouette",
     "COMMUNICATIVE_SIGNS",
     "MarshallingSign",

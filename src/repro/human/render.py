@@ -19,7 +19,7 @@ from repro.human.pose import HumanPose
 from repro.vision.image import BinaryImage, Image
 from repro.vision.raster import merge_masks, raster_capsule
 
-__all__ = ["RenderSettings", "render_silhouette", "render_frame"]
+__all__ = ["RenderSettings", "render_silhouette", "render_frame", "render_scene"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,11 +78,30 @@ def render_frame(
     blur, threshold and extract the silhouette itself, exactly as the
     paper's OpenCV stage did.
     """
+    return render_scene([pose], camera, settings)
+
+
+def render_scene(
+    poses: "list[HumanPose] | tuple[HumanPose, ...]",
+    camera: PinholeCamera,
+    settings: RenderSettings | None = None,
+) -> Image:
+    """Render a frame containing any number of posed figures.
+
+    All silhouettes are merged into one foreground mask before the
+    photometric pass, so ``render_scene([pose], ...)`` is bit-identical
+    to :func:`render_frame` — the long-tail scenario engine uses the
+    multi-pose form to place a second, conflicting signaller in-frame.
+    """
     cfg = settings if settings is not None else RenderSettings()
-    silhouette = render_silhouette(pose, camera)
+    if not poses:
+        raise ValueError("need at least one pose to render")
+    mask = render_silhouette(poses[0], camera)
+    for pose in poses[1:]:
+        mask = mask.union(render_silhouette(pose, camera))
     rng = np.random.default_rng(cfg.seed)
-    frame = np.full(silhouette.shape, cfg.background_intensity, dtype=np.float64)
-    frame[silhouette.pixels] = cfg.figure_intensity
+    frame = np.full(mask.shape, cfg.background_intensity, dtype=np.float64)
+    frame[mask.pixels] = cfg.figure_intensity
     if cfg.noise_sigma > 0:
         frame = frame + rng.normal(0.0, cfg.noise_sigma, size=frame.shape)
     return Image(np.clip(frame, 0.0, 1.0))

@@ -17,6 +17,13 @@ from repro.mission.flytrap import FlyTrap, TrapReading
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
 from repro.mission.pipeline import FleetTick, PerceptionBatch, build_fleet_graph
 from repro.mission.planner import RoutePlan, plan_route, tour_length
+from repro.mission.surveillance import (
+    SurveillanceConfig,
+    SurveillanceExecutor,
+    SurveillancePhase,
+    SurveillanceReport,
+    build_surveillance_fleet,
+)
 from repro.mission.visualize import MapStyle, render_map, render_mission_summary
 
 __all__ = [
@@ -42,4 +49,9 @@ __all__ = [
     "RoutePlan",
     "plan_route",
     "tour_length",
+    "SurveillanceConfig",
+    "SurveillanceExecutor",
+    "SurveillancePhase",
+    "SurveillanceReport",
+    "build_surveillance_fleet",
 ]

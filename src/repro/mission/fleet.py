@@ -104,7 +104,12 @@ class FleetMission:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Outcome of one fleet run."""
+    """Outcome of one fleet run.
+
+    ``escalation_events`` carries every surveillance escalation raised
+    on a mission's :class:`~repro.simulation.events.EventEmitter` bus
+    (empty for trap-reading fleets), in ``(time, mission)`` order.
+    """
 
     reports: dict[str, MissionReport]
     ticks: int
@@ -113,6 +118,7 @@ class FleetReport:
     perception_budget: BudgetReport | None = None
     service_stats: ServiceStats | None = None
     graph_stats: GraphStats | None = None
+    escalation_events: tuple = ()
 
     @property
     def missions(self) -> int:
@@ -133,6 +139,11 @@ class FleetReport:
     def safety_events(self) -> int:
         """Total safety violations across the fleet."""
         return sum(r.safety_events for r in self.reports.values())
+
+    @property
+    def escalations(self) -> int:
+        """Total surveillance escalations across the fleet."""
+        return len(self.escalation_events)
 
 
 class FleetScheduler:
@@ -325,7 +336,14 @@ class FleetScheduler:
                 stats = mission.perception.stats
                 budget = mission.perception.budget_report()
                 break
+        escalations: list = []
+        for mission in self.missions:
+            events = getattr(mission.executor, "escalation_events", None)
+            if events:
+                escalations.extend(events)
+        escalations.sort(key=lambda e: e.time_s)
         return FleetReport(
+            escalation_events=tuple(escalations),
             reports={m.name: m.report for m in self.missions},
             ticks=self._ticks,
             sim_duration_s=self.now_s,

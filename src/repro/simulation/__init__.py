@@ -21,9 +21,25 @@ from repro.simulation.scenarios import (
     run_static_matrix,
     scenario_matrix,
 )
+from repro.simulation.scenarios import fold_static_window
+from repro.simulation.longtail import (
+    NIGHT,
+    ConflictingSigner,
+    FrameDropSpec,
+    LongTailScenario,
+    MotionBlurSpec,
+    OcclusionSpec,
+    WalkDriftSpec,
+    apply_frame_drops,
+    occlude_frame,
+    sample_longtail,
+    scenario_from_dict,
+    scenario_to_dict,
+    temporal_blur,
+)
 from repro.simulation.body import BodyLimits, BodyState, MultirotorBody
 from repro.simulation.clock import SimClock
-from repro.simulation.events import EventLog, EventQueue, SimEvent
+from repro.simulation.events import EventEmitter, EventLog, EventQueue, SimEvent
 from repro.simulation.sensors import CameraMount, StateEstimator
 from repro.simulation.wind import CalmWind, GustEpisode, WindModel
 from repro.simulation.world import Entity, StaticObstacle, World
@@ -42,6 +58,20 @@ __all__ = [
     "run_dynamic_matrix",
     "run_static_matrix",
     "scenario_matrix",
+    "fold_static_window",
+    "NIGHT",
+    "ConflictingSigner",
+    "FrameDropSpec",
+    "LongTailScenario",
+    "MotionBlurSpec",
+    "OcclusionSpec",
+    "WalkDriftSpec",
+    "apply_frame_drops",
+    "occlude_frame",
+    "sample_longtail",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "temporal_blur",
     "HOVER_POWER_W",
     "Battery",
     "BatteryDepleted",
@@ -49,6 +79,7 @@ __all__ = [
     "BodyState",
     "MultirotorBody",
     "SimClock",
+    "EventEmitter",
     "EventLog",
     "EventQueue",
     "SimEvent",

@@ -65,6 +65,7 @@ __all__ = [
     "DEFAULT_WINDS",
     "DEFAULT_LIGHTINGS",
     "scenario_matrix",
+    "fold_static_window",
     "run_static_matrix",
     "run_dynamic_matrix",
 ]
@@ -313,10 +314,16 @@ def scenario_matrix(
     ]
 
 
-def _static_outcome(
-    scenario: Scenario, labels: list[str | None]
-) -> ScenarioOutcome:
-    """Fold per-frame labels of one static-scenario window into an outcome."""
+def fold_static_window(scenario, labels: list[str | None]) -> ScenarioOutcome:
+    """Fold per-frame labels of one static-scenario window into an outcome.
+
+    *scenario* only needs an ``expected_label`` attribute, so both plain
+    :class:`Scenario` grid points and
+    :class:`~repro.simulation.longtail.LongTailScenario` perturbations
+    fold through the same rules: ``correct`` iff the majority readable
+    label equals the expectation, ``safe`` iff no readable frame claimed
+    a *different* communicative sign.
+    """
     expected = scenario.expected_label
     readable = [label for label in labels if label is not None]
     observed = None
@@ -369,7 +376,7 @@ def run_static_matrix(
         elevations.extend([scenario.elevation_deg] * len(window))
     results = recognizer.recognize_batch(frames, elevation_deg=elevations)
     return [
-        _static_outcome(scenario, [r.label for r in results[start:stop]])
+        fold_static_window(scenario, [r.label for r in results[start:stop]])
         for scenario, start, stop in spans
     ]
 

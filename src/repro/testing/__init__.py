@@ -1,0 +1,45 @@
+"""Property-based testing utilities: the long-tail fuzz harness.
+
+Dependency-free scenario fuzzing with greedy shrinking — see
+:mod:`repro.testing.fuzz`.
+"""
+
+from repro.testing.fuzz import (
+    DYNAMIC_WINDOW,
+    STATIC_WINDOW,
+    FuzzHarness,
+    FuzzReport,
+    InvariantViolation,
+    MinimisedCase,
+    Recognizers,
+    WindowResult,
+    case_bytes,
+    case_filename,
+    check_envelope_invariant,
+    check_fleet_invariants,
+    check_window_invariants,
+    execute_window,
+    replay_case,
+    shrink_candidates,
+    shrink_scenario,
+)
+
+__all__ = [
+    "DYNAMIC_WINDOW",
+    "STATIC_WINDOW",
+    "FuzzHarness",
+    "FuzzReport",
+    "InvariantViolation",
+    "MinimisedCase",
+    "Recognizers",
+    "WindowResult",
+    "case_bytes",
+    "case_filename",
+    "check_envelope_invariant",
+    "check_fleet_invariants",
+    "check_window_invariants",
+    "execute_window",
+    "replay_case",
+    "shrink_candidates",
+    "shrink_scenario",
+]

@@ -1,0 +1,13 @@
+"""Shared fixtures for the fuzz-harness tests."""
+
+import pytest
+
+from repro.testing.fuzz import Recognizers
+
+
+@pytest.fixture(scope="session")
+def fuzz_recognizers(canonical_recognizer, enrolled_dynamic_recognizer) -> Recognizers:
+    """The harness recogniser pair, backed by the session recognisers."""
+    return Recognizers(
+        static=canonical_recognizer, dynamic=enrolled_dynamic_recognizer
+    )

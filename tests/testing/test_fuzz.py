@@ -1,0 +1,197 @@
+"""The fuzz harness: invariants, shrinking, determinism, violation capture."""
+
+import json
+
+import pytest
+
+from repro.protocol.recognizer import RecognitionEnvelope
+from repro.simulation.longtail import (
+    ConflictingSigner,
+    FrameDropSpec,
+    LongTailScenario,
+    MotionBlurSpec,
+    OcclusionSpec,
+    sample_longtail,
+)
+from repro.testing.fuzz import (
+    FuzzHarness,
+    case_bytes,
+    case_filename,
+    check_envelope_invariant,
+    check_window_invariants,
+    execute_window,
+    replay_case,
+    shrink_candidates,
+    shrink_scenario,
+)
+
+
+class TestInvariantChecks:
+    def test_clean_run_finds_no_violations(self, fuzz_recognizers):
+        harness = FuzzHarness(
+            seed=7, iterations=4, fleet_cases=0, recognizers=fuzz_recognizers
+        )
+        report = harness.run()
+        assert report.ok
+        assert report.scenarios_checked == 4
+
+    def test_window_checks_pass_on_sampled_scenarios(self, fuzz_recognizers):
+        for index in range(3):
+            scenario = sample_longtail(3, index)
+            assert check_window_invariants(scenario, fuzz_recognizers) == []
+            assert check_envelope_invariant(scenario, fuzz_recognizers) == []
+
+    def test_clean_longtail_matches_grid_outcome(self, fuzz_recognizers):
+        """A calm, perturbation-free long-tail window folds to exactly
+        the outcome the scenario-grid runner produces for its base."""
+        from repro.simulation.scenarios import run_static_matrix
+
+        bases = [
+            sample_longtail(7, index).base
+            for index in range(6)
+            if not sample_longtail(7, index).is_dynamic
+        ]
+        outcomes = run_static_matrix(fuzz_recognizers.static, bases)
+        for base, outcome in zip(bases, outcomes):
+            result = execute_window(LongTailScenario(base=base), fuzz_recognizers)
+            assert result.observed == outcome.observed
+            assert result.correct == outcome.correct
+            assert result.safe == outcome.safe
+            assert result.labels == outcome.frame_labels
+
+    def test_execute_window_deterministic_per_seed(self, fuzz_recognizers):
+        for index in range(3):
+            first = execute_window(sample_longtail(5, index), fuzz_recognizers)
+            second = execute_window(sample_longtail(5, index), fuzz_recognizers)
+            assert first.signature == second.signature
+            assert first.observed == second.observed
+
+
+class TestShrinker:
+    def test_candidates_strictly_reduce_complexity(self):
+        scenario = sample_longtail(7, 4)
+        for candidate in shrink_candidates(scenario):
+            assert candidate.complexity() < scenario.complexity()
+
+    def test_shrink_terminates_at_failing_minimum(self):
+        scenario = LongTailScenario(
+            base=sample_longtail(7, 0).base,
+            occlusion=OcclusionSpec(side="bottom", fraction=0.45),
+            conflict=ConflictingSigner(),
+            blur=MotionBlurSpec(taps=4),
+            drops=FrameDropSpec(period=2, mode="remove"),
+        )
+
+        def predicate(candidate):
+            return "needs_occlusion" if candidate.occlusion is not None else None
+
+        minimal = shrink_scenario(scenario, predicate)
+        # Still failing, and 1-minimal: every remaining one-step
+        # simplification makes the failure disappear.
+        assert predicate(minimal) == "needs_occlusion"
+        assert minimal.complexity() < scenario.complexity()
+        assert minimal.conflict is None
+        assert minimal.blur is None
+        assert minimal.drops is None
+        for candidate in shrink_candidates(minimal):
+            assert predicate(candidate) != "needs_occlusion"
+
+    def test_shrink_rejects_passing_scenario(self):
+        with pytest.raises(ValueError):
+            shrink_scenario(sample_longtail(7, 0), lambda s: None)
+
+    def test_shrink_keeps_same_failure_name(self):
+        scenario = LongTailScenario(
+            base=sample_longtail(7, 1).base,
+            occlusion=OcclusionSpec(side="left", fraction=0.3),
+            drops=FrameDropSpec(period=3, mode="freeze"),
+        )
+
+        def predicate(candidate):
+            if candidate.drops is not None:
+                return "drops_bug"
+            if candidate.occlusion is not None:
+                return "occlusion_bug"  # a different failure; never accepted
+            return None
+
+        minimal = shrink_scenario(scenario, predicate)
+        assert minimal.drops is not None
+
+
+class TestBrokenInvariantCapture:
+    def test_disabled_envelope_is_caught_and_shrunk(
+        self, fuzz_recognizers, monkeypatch
+    ):
+        """The acceptance scenario: gating disabled via monkeypatch must
+        surface as a shrunk case naming the violated invariant."""
+        monkeypatch.setattr(
+            RecognitionEnvelope, "allows", lambda self, geometry: True
+        )
+        harness = FuzzHarness(
+            seed=7, iterations=10, fleet_cases=0, recognizers=fuzz_recognizers
+        )
+        report = harness.run()
+        assert not report.ok
+        case = next(
+            c for c in report.cases if c.invariant == "envelope_rejection_explicit"
+        )
+        assert case.kind == "violation"
+        assert "was not gated" in case.detail
+        # Shrunk to the simplest geometry that still sits outside the
+        # envelope fields.
+        assert case.scenario.complexity() <= 3
+        payload = json.loads(case_bytes(case))
+        assert payload["invariant"] == "envelope_rejection_explicit"
+
+    def test_forced_wrong_verdict_is_caught(self, fuzz_recognizers, monkeypatch):
+        import repro.testing.fuzz as fuzz_module
+
+        original = fuzz_module.fold_static_window
+
+        def lying_fold(scenario, labels):
+            outcome = original(scenario, labels)
+            object.__setattr__(outcome, "correct", True)
+            return outcome
+
+        monkeypatch.setattr(fuzz_module, "fold_static_window", lying_fold)
+        violations = []
+        for index in range(10):
+            scenario = sample_longtail(7, index)
+            if scenario.is_dynamic:
+                continue
+            violations.extend(check_window_invariants(scenario, fuzz_recognizers))
+        names = {v.invariant for v in violations}
+        assert "verdict_fold" in names
+
+
+class TestCaseSerialisation:
+    def test_mined_case_bytes_deterministic(self, fuzz_recognizers):
+        harness = FuzzHarness(seed=7, recognizers=fuzz_recognizers)
+        first = harness.mine_edge_case(3)
+        second = harness.mine_edge_case(3)
+        assert first is not None
+        assert case_bytes(first) == case_bytes(second)
+        assert case_filename(first) == case_filename(second)
+        assert case_filename(first).startswith("edge_")
+
+    def test_mined_case_replays_green(self, fuzz_recognizers):
+        harness = FuzzHarness(seed=7, recognizers=fuzz_recognizers)
+        case = harness.mine_edge_case(0)
+        assert case is not None
+        assert replay_case(json.loads(case_bytes(case)), fuzz_recognizers) == []
+
+    def test_replay_flags_signature_drift(self, fuzz_recognizers):
+        harness = FuzzHarness(seed=7, recognizers=fuzz_recognizers)
+        case = harness.mine_edge_case(0)
+        data = json.loads(case_bytes(case))
+        data["expect"]["signature"] = "0" * 64
+        failures = replay_case(data, fuzz_recognizers)
+        assert any("signature drifted" in f for f in failures)
+
+
+class TestHarnessValidation:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            FuzzHarness(iterations=-1)
+        with pytest.raises(ValueError):
+            FuzzHarness(fleet_cases=-1)
