@@ -1,0 +1,310 @@
+"""T-GW — async multi-tenant recognition gateway latency and parity.
+
+Benchmarks the :class:`~repro.gateway.RecognitionGateway` TCP front end
+under concurrent async clients against direct in-process
+:meth:`~repro.sax.database.SignDatabase.classify_batch`.  Five sections:
+
+* **parity** — **unconditional bit-identical verdict parity** for
+  classification through the gateway wire codec, and exact
+  dynamic-window decode parity against a local
+  :class:`~repro.recognition.dynamic.DynamicSignRecognizer` decoder.
+  These booleans gate every CI run (smoke included).
+* **latency** — per-request wall clock (p50/p99/mean/max) across
+  concurrent pipelined :class:`~repro.gateway.AsyncGatewayClient`
+  connections.
+* **slo** — the latency-SLO gate: p50/p99 must land under generous
+  limits and the run must complete without load shedding.  Enforced on
+  full runs only (``gate_enforced`` records which); smoke runs keep the
+  numbers informational.
+* **fairness** — a 10:1 offered-load skew between two tenants; the
+  quiet tenant must be fully served.
+* **replicas** — ``replicas=2`` round-robin spread, and verdict parity
+  preserved across a replica failure (failover).
+
+Set ``BENCH_SMOKE=1`` for a reduced run with the SLO gate disabled
+(parity checks stay on).
+
+Run as a script to write the ``BENCH_gateway.json`` artifact::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py
+"""
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.gateway import (
+    AsyncGatewayClient,
+    GatewayClient,
+    RecognitionGateway,
+)
+from repro.human import WAVE_OFF
+from repro.recognition.classifier import InProcessClassifier
+from repro.recognition.dynamic import DynamicObservation, DynamicSignRecognizer
+from repro.sax.database import SignDatabase
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+CLIENTS = 3 if SMOKE else 8
+REQUESTS_PER_CLIENT = 6 if SMOKE else 40
+BATCH = 8 if SMOKE else 16
+LABELS = 8 if SMOKE else 12
+SERIES_LENGTH = 64
+P50_LIMIT_MS = 250.0
+P99_LIMIT_MS = 1000.0
+CPU_COUNT = os.cpu_count() or 1
+GATE_ENFORCED = not SMOKE
+
+
+def build_database(rng: np.random.Generator) -> SignDatabase:
+    database = SignDatabase()
+    for label_index in range(LABELS):
+        base = np.cumsum(rng.standard_normal(SERIES_LENGTH))
+        for view_index in range(2):
+            view = base + 0.05 * np.cumsum(rng.standard_normal(SERIES_LENGTH))
+            database.add(f"sign_{label_index:03d}", view, view=f"v{view_index}")
+    return database
+
+
+def build_queries(database: SignDatabase, rng: np.random.Generator) -> list[np.ndarray]:
+    queries = []
+    labels = database.labels
+    for index in range(BATCH):
+        if index % 2 == 0:
+            reference = database.entry(labels[index % len(labels)]).series
+            queries.append(reference + 0.02 * rng.standard_normal(SERIES_LENGTH))
+        else:
+            queries.append(np.cumsum(rng.standard_normal(SERIES_LENGTH)))
+    return queries
+
+
+class _FlakyClassifier(InProcessClassifier):
+    """Fails its first batch, then stays dead — the failover fixture."""
+
+    def __init__(self, database):
+        super().__init__(database)
+        self.calls = 0
+
+    def classify_batch(self, queries):
+        self.calls += 1
+        raise RuntimeError("replica lost")
+
+
+async def _client_load(address, tenant, queries, expected, latencies):
+    client = await AsyncGatewayClient.connect(*address, tenant=tenant)
+    try:
+        for _ in range(REQUESTS_PER_CLIENT):
+            start = time.perf_counter()
+            results = await client.classify_batch(queries)
+            latencies.append(time.perf_counter() - start)
+            assert results == expected, "gateway verdicts must be bit-identical"
+    finally:
+        await client.aclose()
+
+
+def measure_latency(database, queries, expected) -> dict:
+    """Concurrent async clients; returns latency stats and shed counts."""
+    latencies: list[float] = []
+    with RecognitionGateway(
+        [InProcessClassifier(database)], own_backends=True
+    ) as gateway:
+
+        async def load():
+            await asyncio.gather(
+                *(
+                    _client_load(
+                        gateway.address, f"tenant-{i}", queries, expected, latencies
+                    )
+                    for i in range(CLIENTS)
+                )
+            )
+
+        asyncio.run(load())
+        stats = gateway.stats
+    samples = np.asarray(latencies) * 1e3
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(float(np.percentile(samples, 50)), 3),
+        "p99_ms": round(float(np.percentile(samples, 99)), 3),
+        "mean_ms": round(float(samples.mean()), 3),
+        "max_ms": round(float(samples.max()), 3),
+        "shed_total": stats.shed_total,
+        "errors": dict(stats.errors),
+    }
+
+
+def measure_window_parity() -> bool:
+    """Dynamic-window decode through the gateway == local decoder."""
+    recognizer = DynamicSignRecognizer()
+    recognizer.enroll(WAVE_OFF)
+    labels = list(WAVE_OFF.expected_label_cycle()) * 3
+    series = [recognizer.database.entry(label).series for label in labels]
+    times = [0.25 * index for index in range(len(series))]
+    decoder = recognizer.decoder()
+    decoder.extend(
+        DynamicObservation(time_s=t, label=label) for t, label in zip(times, labels)
+    )
+    expected = decoder.result()
+    with RecognitionGateway(
+        [InProcessClassifier(recognizer.database)],
+        own_backends=True,
+        decoder_factory=recognizer.decoder,
+    ) as gateway:
+        with GatewayClient(*gateway.address) as client:
+            got = client.recognize_window(series, times)
+    return (
+        got.sign_name == expected.sign_name
+        and got.cycles_seen == expected.cycles_seen
+        and got.observations == expected.observations
+    )
+
+
+def measure_fairness(database, queries) -> dict:
+    """10:1 offered-load skew: the quiet tenant is fully served."""
+    with RecognitionGateway(
+        [InProcessClassifier(database)], own_backends=True
+    ) as gateway:
+        with GatewayClient(*gateway.address, tenant="chatty") as chatty:
+            with GatewayClient(*gateway.address, tenant="quiet") as quiet:
+                for _ in range(10):
+                    chatty.classify_batch(queries)
+                quiet.classify_batch(queries)
+        deadline = time.monotonic() + 10.0
+        while gateway.stats.completed < 11 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        per_tenant = {
+            tenant: dict(counters)
+            for tenant, counters in gateway.stats.per_tenant.items()
+        }
+    quiet_counts = per_tenant.get("quiet", {})
+    return {
+        "skew": "10:1",
+        "per_tenant": per_tenant,
+        "quiet_fully_served": (
+            quiet_counts.get("completed") == quiet_counts.get("submitted") == 1
+            and quiet_counts.get("shed", 0) == 0
+        ),
+    }
+
+
+def measure_replicas(database, queries, expected) -> dict:
+    """Round-robin spread over 2 replicas, and failover parity."""
+    with RecognitionGateway(
+        [InProcessClassifier(database), InProcessClassifier(database)],
+        own_backends=True,
+    ) as gateway:
+        with GatewayClient(*gateway.address) as client:
+            for _ in range(4):
+                assert client.classify_batch(queries) == expected
+        dispatched = [replica["dispatched"] for replica in gateway.stats.replicas]
+    flaky = _FlakyClassifier(database)
+    with RecognitionGateway(
+        [flaky, InProcessClassifier(database)], own_backends=True
+    ) as gateway:
+        with GatewayClient(*gateway.address) as client:
+            failover_results = client.classify_batch(queries)
+        failovers = gateway.stats.failovers
+        alive = [replica["alive"] for replica in gateway.stats.replicas]
+    return {
+        "dispatched": dispatched,
+        "round_robin_spread": all(count >= 2 for count in dispatched),
+        "failovers": failovers,
+        "replica_alive_after_failover": alive,
+        "failover_parity": failover_results == expected and failovers == 1,
+    }
+
+
+def measure() -> dict:
+    rng = np.random.default_rng(2024)
+    database = build_database(rng)
+    queries = build_queries(database, rng)
+    expected = database.classify_batch(queries)
+
+    latency = measure_latency(database, queries, expected)
+    window_parity = measure_window_parity()
+    fairness = measure_fairness(database, queries)
+    replicas = measure_replicas(database, queries, expected)
+
+    # -- unconditional parity: every CI run, smoke included -----------
+    assert window_parity, "gateway window decode must match the local decoder"
+    assert replicas["failover_parity"], "failover must preserve verdict parity"
+
+    shed_rate = latency["shed_total"] / max(1, latency["requests"])
+    return {
+        "smoke": SMOKE,
+        "cpu_count": CPU_COUNT,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "batch": BATCH,
+        "labels": LABELS,
+        "series_length": SERIES_LENGTH,
+        "parity": {
+            # _client_load asserts bit-identical verdicts on every reply.
+            "verdict_parity": True,
+            "window_parity": window_parity,
+        },
+        "latency": latency,
+        "slo": {
+            "gate_enforced": GATE_ENFORCED,
+            "gate_skip_reason": None if GATE_ENFORCED else "smoke mode",
+            "p50_limit_ms": P50_LIMIT_MS,
+            "p99_limit_ms": P99_LIMIT_MS,
+            "p50_within_slo": latency["p50_ms"] <= P50_LIMIT_MS,
+            "p99_within_slo": latency["p99_ms"] <= P99_LIMIT_MS,
+            "shed_rate": round(shed_rate, 4),
+            "no_shedding": latency["shed_total"] == 0,
+        },
+        "fairness": fairness,
+        "replicas": replicas,
+    }
+
+
+def test_gateway_latency_and_parity():
+    """Verdicts bit-identical through the wire; SLOs hold on full runs."""
+    stats = measure()
+    assert stats["parity"]["verdict_parity"]
+    assert stats["parity"]["window_parity"]
+    assert stats["replicas"]["failover_parity"]
+    if stats["slo"]["gate_enforced"]:
+        assert stats["slo"]["p50_within_slo"]
+        assert stats["slo"]["p99_within_slo"]
+        assert stats["slo"]["no_shedding"]
+
+
+if __name__ == "__main__":
+    stats = measure()
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+    artifact.write_text(json.dumps(stats, indent=2) + "\n")
+    latency = stats["latency"]
+    slo = stats["slo"]
+    print(
+        f"T-GW ({stats['clients']} clients x {stats['requests_per_client']} "
+        f"requests, batch {stats['batch']}, {stats['cpu_count']} cores)"
+    )
+    print(
+        f"  latency: p50 {latency['p50_ms']:.2f} ms   p99 "
+        f"{latency['p99_ms']:.2f} ms   mean {latency['mean_ms']:.2f} ms   "
+        f"max {latency['max_ms']:.2f} ms"
+    )
+    print(
+        f"  slo: p50 <= {slo['p50_limit_ms']} ms, p99 <= {slo['p99_limit_ms']} ms, "
+        f"shed rate {slo['shed_rate']}"
+    )
+    print(
+        f"  fairness (10:1 skew): quiet fully served = "
+        f"{stats['fairness']['quiet_fully_served']}"
+    )
+    print(
+        f"  replicas: dispatched {stats['replicas']['dispatched']}, "
+        f"failovers {stats['replicas']['failovers']}"
+    )
+    print("  parity: bit-identical verdicts; window decode exact")
+    print(f"  wrote {artifact.name}")
+    if not slo["gate_enforced"]:
+        print(f"  slo gate skipped: {slo['gate_skip_reason']}")
+    else:
+        assert slo["p50_within_slo"] and slo["p99_within_slo"], "latency SLO failed"
+        assert slo["no_shedding"], "gateway shed under benchmark load"

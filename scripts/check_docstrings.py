@@ -35,6 +35,7 @@ DEFAULT_PACKAGES = (
     "repro.mission",
     "repro.protocol",
     "repro.service",
+    "repro.gateway",
     "repro.dataflow",
     "repro.testing",
 )

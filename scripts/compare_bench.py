@@ -12,6 +12,11 @@ nightly run) and
   ``equal`` or ``identical``, e.g. ``outcome_parity``,
   ``outcomes_equal``) must still be present and ``true`` in the fresh
   artifact;
+* **fails on enforced-SLO violations**: any fresh-artifact section
+  that declares ``"gate_enforced": true`` (e.g. the latency-SLO
+  section of ``bench_gateway.py``) must have every other boolean in
+  that section ``true`` — smoke runs write ``gate_enforced: false``
+  and are exempt;
 * **fails on lost pipeline stages**: every dataflow node named in a
   baseline artifact's ``nodes.nodes`` section (the per-stage metrics
   ``bench_fleet.py`` rolls up from the fleet pipeline graph) must still
@@ -77,6 +82,29 @@ def speedup_leaves(artifact: dict) -> dict[str, float]:
     }
 
 
+def slo_violations(artifact: dict, path=()) -> list[str]:
+    """SLO sections the *fresh* artifact failed to honour.
+
+    A section (any nested dict) that declares ``"gate_enforced": true``
+    promises every other boolean in it — ``p99_within_slo``,
+    ``no_shedding``, … — is an enforced gate for this run.  Smoke runs
+    write ``gate_enforced: false`` and are exempt; the booleans stay
+    informational there.
+    """
+    violations = []
+    if not isinstance(artifact, dict):
+        return violations
+    if artifact.get("gate_enforced") is True:
+        for key, value in artifact.items():
+            if key != "gate_enforced" and value is False:
+                violations.append(
+                    ".".join(path + (key,)) if path else key
+                )
+    for key, value in artifact.items():
+        violations.extend(slo_violations(value, path + (str(key),)))
+    return violations
+
+
 def node_metrics(artifact: dict) -> dict[str, dict]:
     """The per-node stage metrics of *artifact* (empty when absent)."""
     nodes = artifact.get("nodes")
@@ -110,6 +138,11 @@ def compare_artifact(name: str, baseline: dict, fresh: dict) -> list[str]:
                 f"{name}: pipeline node '{node_name}' has baseline metrics "
                 f"but is missing from the fresh artifact (stage coverage lost)"
             )
+    for violation in slo_violations(fresh):
+        regressions.append(
+            f"{name}: SLO violation — '{violation}' is false in a section "
+            f"the fresh run enforces (gate_enforced: true)"
+        )
     return regressions
 
 

@@ -1,0 +1,56 @@
+"""Async multi-tenant recognition gateway: network front door for the
+classification stack.
+
+* :mod:`repro.gateway.wire` — length-prefixed JSON + binary-float64
+  frame codec (the parity-preserving wire format).
+* :mod:`repro.gateway.scheduling` — per-tenant weighted-fair queue.
+* :mod:`repro.gateway.server` — :class:`RecognitionGateway`, the
+  asyncio TCP server with admission control, load shedding, weighted
+  tenant fairness and replicated backends with failover.
+* :mod:`repro.gateway.client` — blocking and asyncio clients plus
+  :class:`GatewayClassifier`, the gateway's implementation of the
+  :class:`~repro.recognition.classifier.Classifier` protocol.
+
+See ``docs/ARCHITECTURE.md`` ("Recognition gateway") for the dataflow
+and the gateway-parity contract enforced by
+``benchmarks/bench_gateway.py``.
+"""
+
+from repro.gateway.client import (
+    AsyncGatewayClient,
+    GatewayClassifier,
+    GatewayClient,
+    GatewayError,
+    GatewayOverloadedError,
+)
+from repro.gateway.scheduling import WeightedFairQueue
+from repro.gateway.server import GatewayStats, RecognitionGateway
+from repro.gateway.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_results,
+    pack_series,
+    unpack_results,
+    unpack_series,
+)
+
+__all__ = [
+    "AsyncGatewayClient",
+    "FrameError",
+    "GatewayClassifier",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayStats",
+    "MAX_FRAME_BYTES",
+    "RecognitionGateway",
+    "WeightedFairQueue",
+    "decode_frame",
+    "encode_frame",
+    "pack_results",
+    "pack_series",
+    "unpack_results",
+    "unpack_series",
+]

@@ -1,0 +1,475 @@
+"""Client side of the recognition gateway protocol.
+
+Three entry points, lowest-level first:
+
+* :class:`GatewayClient` — a blocking, socket-per-client connection
+  with strict request/reply semantics.  The right tool for tests,
+  scripts and anything that already lives on a thread.
+* :class:`AsyncGatewayClient` — an asyncio connection that pipelines
+  many requests over one socket (ids matched by a reader task), used
+  by the gateway benchmark to generate concurrent load.
+* :class:`GatewayClassifier` — the gateway's face on the
+  backend-agnostic :class:`~repro.recognition.classifier.Classifier`
+  protocol: ``classify_batch`` over the wire with automatic retry (with
+  backoff) when the gateway sheds with ``OVERLOADED``.  Drop-in
+  wherever an :class:`~repro.recognition.classifier.InProcessClassifier`
+  or :class:`~repro.service.classifier.ServiceClassifier` fits.
+
+Errors come back as :class:`GatewayError` (structured ``code`` /
+``message`` / ``retryable``) or its subclass
+:class:`GatewayOverloadedError` for shed requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.gateway.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_series,
+    unpack_results,
+)
+from repro.recognition.classifier import ClassifierStats
+from repro.recognition.dynamic import DynamicObservation, DynamicRecognition
+from repro.sax.database import MatchResult
+
+__all__ = [
+    "GatewayError",
+    "GatewayOverloadedError",
+    "GatewayClient",
+    "AsyncGatewayClient",
+    "GatewayClassifier",
+]
+
+_U32 = struct.Struct(">I")
+
+
+class GatewayError(RuntimeError):
+    """A structured error reply from the gateway."""
+
+    def __init__(self, code: str, message: str, retryable: bool = False) -> None:
+        super().__init__(f"{code}: {message}")
+        #: Machine-readable error code (``OVERLOADED``, ``BAD_REQUEST``, …).
+        self.code = code
+        #: Human-readable detail.
+        self.message = message
+        #: Whether the gateway says a retry may succeed.
+        self.retryable = retryable
+
+
+class GatewayOverloadedError(GatewayError):
+    """The gateway shed this request (admission or queue capacity)."""
+
+
+def _raise_reply_error(header: dict) -> None:
+    """Raise the matching :class:`GatewayError` for an ``ok: false`` reply."""
+    error = header.get("error") or {}
+    code = str(error.get("code", "UNKNOWN"))
+    message = str(error.get("message", "gateway request failed"))
+    retryable = bool(error.get("retryable", False))
+    if code == "OVERLOADED":
+        raise GatewayOverloadedError(code, message, retryable)
+    raise GatewayError(code, message, retryable)
+
+
+def _window_recognition(header: dict) -> DynamicRecognition:
+    """Build a :class:`DynamicRecognition` from a window reply header."""
+    observations = tuple(
+        DynamicObservation(time_s=float(time_s), label=label)
+        for time_s, label in zip(header.get("times", ()), header.get("labels", ()))
+    )
+    return DynamicRecognition(
+        sign_name=header.get("sign_name"),
+        cycles_seen=int(header.get("cycles_seen", 0)),
+        observations=observations,
+    )
+
+
+class GatewayClient:
+    """Blocking request/reply connection to a :class:`RecognitionGateway`.
+
+    One request is in flight at a time; for concurrent load from a
+    single connection use :class:`AsyncGatewayClient`.  The constructor
+    connects and sends the ``hello`` handshake carrying *tenant*.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.settimeout(timeout_s)
+        self._closed = False
+        reply = self._request({"op": "hello", "tenant": tenant})[0]
+        self.tenant = str(reply.get("tenant", tenant))
+
+    # -- wire plumbing ----------------------------------------------------------------
+
+    def _read_exact(self, length: int) -> bytes:
+        """Read exactly *length* bytes or raise ``ConnectionError``."""
+        chunks = []
+        remaining = length
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("gateway closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        """Send one frame and block for its reply, raising reply errors."""
+        if self._closed:
+            raise RuntimeError("gateway client is closed")
+        header = dict(header)
+        header.setdefault("id", next(self._ids))
+        self._sock.sendall(encode_frame(header, payload))
+        (body_length,) = _U32.unpack(self._read_exact(4))
+        if body_length < 4 or body_length > MAX_FRAME_BYTES:
+            raise FrameError(f"reply frame length {body_length} is out of range")
+        reply, reply_payload = decode_frame(self._read_exact(body_length))
+        if not reply.get("ok", False):
+            _raise_reply_error(reply)
+        return reply, reply_payload
+
+    # -- operations -------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip a ``ping``; returns ``True`` on success."""
+        self._request({"op": "ping"})
+        return True
+
+    def server_stats(self) -> dict:
+        """Fetch the gateway's :class:`GatewayStats` snapshot as a dict."""
+        reply, _ = self._request({"op": "stats"})
+        return reply["stats"]
+
+    def classify_batch(self, queries: Sequence[np.ndarray]) -> list[MatchResult]:
+        """Classify a batch of signature series over the wire.
+
+        Verdicts are bit-identical to in-process
+        :meth:`~repro.sax.database.SignDatabase.classify_batch` on the
+        gateway's enrolled database.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        fields, payload = pack_series(queries)
+        fields["op"] = "classify"
+        reply, reply_payload = self._request(fields, payload)
+        return unpack_results(reply, reply_payload)
+
+    def recognize_window(
+        self, series: Sequence[np.ndarray], times: Sequence[float]
+    ) -> DynamicRecognition:
+        """Run a dynamic-window recognition on the gateway.
+
+        The server classifies each series, feeds the per-frame labels
+        (stamped with *times*) through its configured
+        :class:`~repro.recognition.dynamic.DynamicWindowDecoder`, and
+        returns the decoded :class:`DynamicRecognition`.
+        """
+        series = list(series)
+        times = [float(t) for t in times]
+        if len(series) != len(times):
+            raise ValueError(
+                f"got {len(series)} series but {len(times)} times — one time per series"
+            )
+        fields, payload = pack_series(series)
+        fields["op"] = "window"
+        fields["times"] = times
+        reply, _ = self._request(fields, payload)
+        return _window_recognition(reply)
+
+    def close(self) -> None:
+        """Close the socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close best-effort
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        """Context-manager entry (connection already open)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection on context exit."""
+        self.close()
+
+
+class AsyncGatewayClient:
+    """Pipelined asyncio connection to a :class:`RecognitionGateway`.
+
+    Many requests may be awaited concurrently over the one socket: a
+    background reader task matches replies to waiters by request id.
+    Construct with :meth:`connect`::
+
+        client = await AsyncGatewayClient.connect(host, port, tenant="fleet-a")
+        results = await client.classify_batch(queries)
+        await client.aclose()
+    """
+
+    def __init__(
+        self,
+        reader,
+        writer,
+        tenant: str,
+    ) -> None:
+        import asyncio
+
+        self.tenant = tenant
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, tenant: str = "default"
+    ) -> "AsyncGatewayClient":
+        """Open a connection and perform the ``hello`` handshake."""
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, tenant)
+        reply, _ = await client._request({"op": "hello", "tenant": tenant})
+        client.tenant = str(reply.get("tenant", tenant))
+        return client
+
+    async def _read_loop(self) -> None:
+        """Demultiplex reply frames to their waiting futures."""
+        import asyncio
+
+        try:
+            while True:
+                prefix = await self._reader.readexactly(4)
+                (body_length,) = _U32.unpack(prefix)
+                body = await self._reader.readexactly(body_length)
+                header, payload = decode_frame(body)
+                waiter = self._waiters.pop(header.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result((header, payload))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, FrameError) as exc:
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.set_exception(ConnectionError(f"gateway connection lost: {exc}"))
+            self._waiters.clear()
+        except asyncio.CancelledError:
+            for waiter in self._waiters.values():
+                if not waiter.done():
+                    waiter.cancel()
+            self._waiters.clear()
+            raise
+
+    async def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        """Send one frame; await and validate its reply."""
+        import asyncio
+
+        if self._closed:
+            raise RuntimeError("gateway client is closed")
+        request_id = next(self._ids)
+        header = dict(header)
+        header["id"] = request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        frame = encode_frame(header, payload)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+        reply, reply_payload = await future
+        if not reply.get("ok", False):
+            _raise_reply_error(reply)
+        return reply, reply_payload
+
+    async def ping(self) -> bool:
+        """Round-trip a ``ping``; returns ``True`` on success."""
+        await self._request({"op": "ping"})
+        return True
+
+    async def server_stats(self) -> dict:
+        """Fetch the gateway's stats snapshot as a dict."""
+        reply, _ = await self._request({"op": "stats"})
+        return reply["stats"]
+
+    async def classify_batch(self, queries: Sequence[np.ndarray]) -> list[MatchResult]:
+        """Classify a batch over the wire (pipelining-safe)."""
+        queries = list(queries)
+        if not queries:
+            return []
+        fields, payload = pack_series(queries)
+        fields["op"] = "classify"
+        reply, reply_payload = await self._request(fields, payload)
+        return unpack_results(reply, reply_payload)
+
+    async def recognize_window(
+        self, series: Sequence[np.ndarray], times: Sequence[float]
+    ) -> DynamicRecognition:
+        """Run a dynamic-window recognition on the gateway."""
+        series = list(series)
+        times = [float(t) for t in times]
+        if len(series) != len(times):
+            raise ValueError(
+                f"got {len(series)} series but {len(times)} times — one time per series"
+            )
+        fields, payload = pack_series(series)
+        fields["op"] = "window"
+        fields["times"] = times
+        reply, _ = await self._request(fields, payload)
+        return _window_recognition(reply)
+
+    async def aclose(self) -> None:
+        """Cancel the reader task and close the socket.  Idempotent."""
+        import asyncio
+
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - close best-effort
+            pass
+
+
+class GatewayClassifier:
+    """:class:`~repro.recognition.classifier.Classifier` over the gateway.
+
+    Wraps a blocking :class:`GatewayClient` and adds bounded retry with
+    linear backoff when the gateway sheds (``OVERLOADED``) — shedding
+    is flow control, not failure, so a polite client backs off and
+    tries again.
+
+    Parameters
+    ----------
+    host / port / tenant / timeout_s:
+        Passed to :class:`GatewayClient`.
+    retries:
+        How many times to retry a shed request before giving up and
+        re-raising :class:`GatewayOverloadedError`.
+    retry_backoff_s:
+        Sleep before retry *k* is ``k * retry_backoff_s``.
+    """
+
+    kind = "gateway"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout_s: float = 30.0,
+        retries: int = 8,
+        retry_backoff_s: float = 0.02,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self._client = GatewayClient(host, port, tenant=tenant, timeout_s=timeout_s)
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self._batches = 0
+        self._frames = 0
+        self._retried = 0
+        self._closed = False
+
+    @property
+    def tenant(self) -> str:
+        """The tenant this connection authenticated as."""
+        return self._client.tenant
+
+    def classify_batch(self, queries: Sequence[np.ndarray]) -> list[MatchResult]:
+        """Classify a batch via the gateway, retrying shed requests."""
+        if self._closed:
+            raise RuntimeError("classifier is closed")
+        queries = list(queries)
+        if not queries:
+            return []
+        attempt = 0
+        while True:
+            try:
+                results = self._client.classify_batch(queries)
+            except GatewayOverloadedError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self._retried += 1
+                time.sleep(attempt * self.retry_backoff_s)
+                continue
+            self._batches += 1
+            self._frames += len(queries)
+            return results
+
+    def recognize_window(
+        self, series: Sequence[np.ndarray], times: Sequence[float]
+    ) -> DynamicRecognition:
+        """Run a dynamic-window recognition via the gateway (with retry)."""
+        if self._closed:
+            raise RuntimeError("classifier is closed")
+        attempt = 0
+        while True:
+            try:
+                return self._client.recognize_window(series, times)
+            except GatewayOverloadedError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self._retried += 1
+                time.sleep(attempt * self.retry_backoff_s)
+
+    @property
+    def stats(self) -> ClassifierStats:
+        """Client-side batch/frame counters plus retry detail."""
+        return ClassifierStats(
+            kind=self.kind,
+            batches=self._batches,
+            frames=self._frames,
+            detail={"tenant": self.tenant, "retried": self._retried},
+        )
+
+    def server_stats(self) -> dict:
+        """Fetch the gateway-side stats snapshot as a dict."""
+        return self._client.server_stats()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the underlying connection.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._client.close()
+
+    def __enter__(self) -> "GatewayClassifier":
+        """Context-manager entry (connection already open)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the classifier on context exit."""
+        self.close()

@@ -1,0 +1,128 @@
+"""Per-tenant weighted-fair scheduling for the recognition gateway.
+
+:class:`WeightedFairQueue` holds one FIFO per tenant and releases work
+in *weighted round-robin* order: each replenish cycle grants every
+tenant with pending work ``weight`` credits, and :meth:`pop` sweeps the
+tenants in first-seen order, serving a tenant while it has both credit
+and work before moving on.  Two tenants of equal weight therefore
+alternate ``a b a b …`` no matter how many requests the chatty one has
+queued — a 10:1 offered-load skew cannot starve the quiet tenant — and
+a tenant with weight 3 gets three slots per cycle.
+
+The queue is plain single-threaded state (no locks): the gateway's
+asyncio dispatcher is its only consumer, and its unit tests pin the
+exact dispatch order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Mapping
+
+__all__ = ["WeightedFairQueue"]
+
+
+class WeightedFairQueue:
+    """Weighted round-robin FIFO multiplexer over per-tenant queues.
+
+    Parameters
+    ----------
+    weights:
+        Tenant name → integer weight (credits per replenish cycle).
+        Tenants absent from the mapping get ``default_weight``.
+    default_weight:
+        Weight for unknown tenants; must be positive.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, int] | None = None,
+        default_weight: int = 1,
+    ) -> None:
+        if default_weight < 1:
+            raise ValueError("default_weight must be positive")
+        configured = dict(weights or {})
+        for tenant, weight in configured.items():
+            if int(weight) < 1:
+                raise ValueError(f"weight for tenant {tenant!r} must be positive")
+        self._weights = {tenant: int(weight) for tenant, weight in configured.items()}
+        self._default_weight = default_weight
+        self._queues: dict[str, deque] = {}
+        self._credits: dict[str, int] = {}
+        self._order: list[str] = []  # tenants in first-seen order
+        self._cursor = 0
+        self._length = 0
+
+    def weight(self, tenant: str) -> int:
+        """The configured (or default) weight of *tenant*."""
+        return self._weights.get(tenant, self._default_weight)
+
+    def push(self, tenant: str, item) -> None:
+        """Enqueue *item* on *tenant*'s FIFO."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._credits[tenant] = 0
+            self._order.append(tenant)
+        queue.append(item)
+        self._length += 1
+
+    def pop(self):
+        """Dequeue the next ``(tenant, item)`` in weighted-fair order.
+
+        Returns ``None`` when every queue is empty.  Within one
+        replenish cycle a tenant is served up to ``weight`` items
+        (fewer if its queue drains); the sweep order is the order
+        tenants were first seen, resumed from where the last pop left
+        off.
+        """
+        if self._length == 0:
+            return None
+        for _ in range(2):  # at most one replenish is ever needed
+            count = len(self._order)
+            for offset in range(count):
+                index = (self._cursor + offset) % count
+                tenant = self._order[index]
+                queue = self._queues[tenant]
+                if not queue or self._credits[tenant] < 1:
+                    continue
+                item = queue.popleft()
+                self._credits[tenant] -= 1
+                self._length -= 1
+                # Stay on this tenant while it has credit and work;
+                # otherwise resume the sweep at the next tenant.
+                if self._credits[tenant] < 1 or not queue:
+                    self._cursor = (index + 1) % count
+                else:
+                    self._cursor = index
+                return tenant, item
+            # Every pending tenant is out of credit: start a new cycle.
+            for tenant in self._order:
+                self._credits[tenant] = self.weight(tenant) if self._queues[tenant] else 0
+        raise AssertionError("non-empty WeightedFairQueue failed to pop")  # pragma: no cover
+
+    def drain_where(self, predicate) -> int:
+        """Remove every queued item for which ``predicate(item)`` is
+        true (e.g. requests from a disconnected client); returns the
+        number removed."""
+        removed = 0
+        for queue in self._queues.values():
+            kept = deque(item for item in queue if not predicate(item))
+            removed += len(queue) - len(kept)
+            queue.clear()
+            queue.extend(kept)
+        self._length -= removed
+        return removed
+
+    def depths(self) -> dict[str, int]:
+        """Current queue depth per tenant (pending tenants only)."""
+        return {tenant: len(queue) for tenant, queue in self._queues.items() if queue}
+
+    def __len__(self) -> int:
+        """Total queued items across all tenants."""
+        return self._length
+
+    def __iter__(self) -> Iterator:
+        """Iterate over all queued items (tenant sweep order, FIFO within)."""
+        for tenant in self._order:
+            yield from self._queues[tenant]

@@ -1,0 +1,685 @@
+"""The async multi-tenant recognition gateway.
+
+:class:`RecognitionGateway` puts a network front door on the
+classification stack: an asyncio TCP server speaking the
+length-prefixed frame protocol of :mod:`repro.gateway.wire`, accepting
+**classification** and **dynamic-window** requests from any number of
+concurrent client connections and multiplexing them onto one or more
+backend :class:`~repro.recognition.classifier.Classifier` replicas.
+
+Flow control, in the order a request meets it:
+
+1. **Admission control** — a connection may have at most
+   ``max_inflight_per_connection`` requests in flight; excess requests
+   are *shed* with an explicit ``OVERLOADED`` reply (never silently
+   queued), so a client always knows its request was not accepted.
+2. **Load shedding** — one global bound (``max_queue_depth``) on the
+   admitted-but-undispatched queue; when the gateway is saturated new
+   requests shed with ``OVERLOADED`` rather than growing latency
+   without bound.  Every shed is counted per reason and per tenant in
+   :class:`GatewayStats`.
+3. **Weighted fairness** — admitted requests enter a per-tenant
+   :class:`~repro.gateway.scheduling.WeightedFairQueue`; the dispatcher
+   releases them in weighted round-robin order, so one chatty fleet
+   cannot starve other tenants no matter how deep its queue is.
+4. **Replicated backends with failover** — requests round-robin across
+   the live replicas; a replica that fails is retired (``failovers``
+   counted) and its request retried on the next live one.  Only when
+   every replica is dead does the client see a ``BACKEND_FAILURE``
+   error.  A backend exposing the tagged
+   :meth:`~repro.service.classifier.ServiceClassifier.submit_batch`
+   seam is fed through it (tenant-tagged entries in the service's
+   coalescing queue); any other classifier runs via an executor thread.
+
+Verdicts travel back as binary float64 distances, so a gateway client
+receives **bit-identical** :class:`~repro.sax.database.MatchResult`
+values to in-process ``classify_batch`` — the gateway-parity contract
+(``docs/ARCHITECTURE.md``), enforced unconditionally by
+``benchmarks/bench_gateway.py``.
+
+The server runs its event loop on a dedicated daemon thread
+(:meth:`RecognitionGateway.start` returns once the socket is bound), so
+synchronous clients, tests and fleets in the same process can talk to
+it without owning an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.gateway.scheduling import WeightedFairQueue
+from repro.gateway.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_results,
+    unpack_series,
+)
+
+__all__ = ["GatewayStats", "RecognitionGateway"]
+
+_LENGTH_BYTES = 4
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Snapshot of the gateway's connection, queue and tenant counters.
+
+    ``shed`` is keyed by reason (``"inflight"`` for per-connection
+    admission, ``"queue"`` for global load shedding), ``errors`` by
+    structured error code, ``per_tenant`` maps tenant name to
+    ``{"submitted", "completed", "shed"}`` and ``replicas`` carries one
+    ``{"index", "alive", "dispatched", "failed"}`` entry per backend.
+    """
+
+    connections_opened: int
+    connections_active: int
+    requests: dict[str, int] = field(default_factory=dict)
+    completed: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    cancelled_disconnect: int = 0
+    failovers: int = 0
+    queue_depth: int = 0
+    per_tenant: dict[str, dict] = field(default_factory=dict)
+    replicas: tuple[dict, ...] = ()
+
+    @property
+    def shed_total(self) -> int:
+        """Total shed requests across all reasons."""
+        return sum(self.shed.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what the ``stats`` wire op returns)."""
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_active": self.connections_active,
+            "requests": dict(self.requests),
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "errors": dict(self.errors),
+            "cancelled_disconnect": self.cancelled_disconnect,
+            "failovers": self.failovers,
+            "queue_depth": self.queue_depth,
+            "per_tenant": {k: dict(v) for k, v in self.per_tenant.items()},
+            "replicas": [dict(r) for r in self.replicas],
+        }
+
+
+class _Connection:
+    """Server-side per-connection state (loop-thread only)."""
+
+    __slots__ = ("index", "tenant", "writer", "write_lock", "inflight", "open")
+
+    def __init__(self, index: int, writer: asyncio.StreamWriter) -> None:
+        self.index = index
+        self.tenant = "default"
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight = 0
+        self.open = True
+
+
+class _PendingRequest:
+    """One admitted request waiting for (or in) dispatch."""
+
+    __slots__ = ("connection", "request_id", "op", "queries", "times")
+
+    def __init__(self, connection, request_id, op, queries, times) -> None:
+        self.connection = connection
+        self.request_id = request_id
+        self.op = op
+        self.queries = queries
+        self.times = times
+
+
+class _Replica:
+    """One backend classifier slot with liveness and counters."""
+
+    __slots__ = ("index", "backend", "alive", "dispatched", "failed")
+
+    def __init__(self, index: int, backend) -> None:
+        self.index = index
+        self.backend = backend
+        self.alive = True
+        self.dispatched = 0
+        self.failed = 0
+
+
+class RecognitionGateway:
+    """Asyncio TCP gateway multiplexing clients onto classifier replicas.
+
+    Parameters
+    ----------
+    backends:
+        One :class:`~repro.recognition.classifier.Classifier` per
+        replica (``replicas=K`` scale-out is simply passing K of them).
+        All replicas must serve the *same* enrolled database — parity
+        across failover depends on it.  The gateway does not own their
+        lifecycle unless ``own_backends=True``.
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    tenant_weights / default_weight:
+        Weighted-fairness configuration
+        (:class:`~repro.gateway.scheduling.WeightedFairQueue`).
+    max_inflight_per_connection:
+        Admission cap: requests beyond this many in flight on one
+        connection are shed with ``OVERLOADED``.
+    max_queue_depth:
+        Global bound on admitted-but-undispatched requests; beyond it
+        new requests shed with ``OVERLOADED``.
+    max_dispatch_concurrency:
+        How many dispatched requests may be resolving at once
+        (defaults to ``4 × len(backends)``).
+    decoder_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.recognition.dynamic.DynamicWindowDecoder` (e.g.
+        ``recognizer.decoder``); required to serve ``window`` requests.
+    own_backends:
+        When ``True``, :meth:`close` also closes every backend.
+    record_dispatch:
+        Keep the tenant dispatch order in :attr:`dispatch_log` (test
+        instrumentation for the fairness contract).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant_weights: dict[str, int] | None = None,
+        default_weight: int = 1,
+        max_inflight_per_connection: int = 8,
+        max_queue_depth: int = 256,
+        max_dispatch_concurrency: int | None = None,
+        decoder_factory: Callable | None = None,
+        own_backends: bool = False,
+        record_dispatch: bool = False,
+    ) -> None:
+        if not backends:
+            raise ValueError("gateway needs at least one backend replica")
+        if max_inflight_per_connection < 1:
+            raise ValueError("max_inflight_per_connection must be positive")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        self._replicas = [_Replica(i, b) for i, b in enumerate(backends)]
+        self.host = host
+        self._requested_port = port
+        self.max_inflight_per_connection = max_inflight_per_connection
+        self.max_queue_depth = max_queue_depth
+        self.max_dispatch_concurrency = (
+            max_dispatch_concurrency
+            if max_dispatch_concurrency is not None
+            else 4 * len(backends)
+        )
+        self.decoder_factory = decoder_factory
+        self.own_backends = own_backends
+        self.record_dispatch = record_dispatch
+        self.dispatch_log: list[str] = []
+        self._queue = WeightedFairQueue(tenant_weights, default_weight)
+        self._rr = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._queue_event: asyncio.Event | None = None
+        self._dispatcher_task: asyncio.Task | None = None
+        self._process_tasks: set[asyncio.Task] = set()
+        self._connections: set[_Connection] = set()
+        self._address: tuple[str, int] | None = None
+        self._started = False
+        self._closed = False
+        # Counters (mutated on the loop thread only).
+        self._connections_opened = 0
+        self._requests: dict[str, int] = {}
+        self._completed = 0
+        self._shed: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._cancelled_disconnect = 0
+        self._failovers = 0
+        self._per_tenant: dict[str, dict] = {}
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "RecognitionGateway":
+        """Bind the socket and start serving on a dedicated loop thread."""
+        if self._started:
+            raise RuntimeError("gateway already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._thread_main, name="recognition-gateway", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError("gateway failed to start") from self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        """Loop-thread entry: run the server until :meth:`close`."""
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 — surfaced via start()/close()
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _serve(self) -> None:
+        """Bind, publish readiness, serve until the stop event fires."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._queue_event = asyncio.Event()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        sock = self._server.sockets[0].getsockname()
+        self._address = (sock[0], sock[1])
+        self._dispatcher_task = asyncio.ensure_future(self._dispatch_loop())
+        self._ready.set()
+        await self._stop_event.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        self._dispatcher_task.cancel()
+        for task in list(self._process_tasks):
+            task.cancel()
+        for connection in list(self._connections):
+            connection.open = False
+            connection.writer.close()
+        await asyncio.gather(
+            self._dispatcher_task, *self._process_tasks, return_exceptions=True
+        )
+
+    def close(self) -> None:
+        """Stop serving and join the loop thread.  Idempotent.
+
+        Backends are closed too when ``own_backends`` was set.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        if self.own_backends:
+            for replica in self._replicas:
+                close = getattr(replica.backend, "close", None)
+                if close is not None:
+                    close()
+
+    def __enter__(self) -> "RecognitionGateway":
+        """Start the gateway on context entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the gateway on context exit."""
+        self.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("gateway is not running")
+        return self._address
+
+    @property
+    def running(self) -> bool:
+        """``True`` between a successful :meth:`start` and :meth:`close`."""
+        return self._started and not self._closed and self._address is not None
+
+    # -- stats ------------------------------------------------------------------------
+
+    @property
+    def stats(self) -> GatewayStats:
+        """Snapshot the gateway counters (readable from any thread)."""
+        return GatewayStats(
+            connections_opened=self._connections_opened,
+            connections_active=len(self._connections),
+            requests=dict(self._requests),
+            completed=self._completed,
+            shed=dict(self._shed),
+            errors=dict(self._errors),
+            cancelled_disconnect=self._cancelled_disconnect,
+            failovers=self._failovers,
+            queue_depth=len(self._queue),
+            per_tenant={k: dict(v) for k, v in self._per_tenant.items()},
+            replicas=tuple(
+                {
+                    "index": r.index,
+                    "alive": r.alive,
+                    "dispatched": r.dispatched,
+                    "failed": r.failed,
+                }
+                for r in self._replicas
+            ),
+        )
+
+    def _tenant_counters(self, tenant: str) -> dict:
+        """The mutable per-tenant counter dict for *tenant*."""
+        counters = self._per_tenant.get(tenant)
+        if counters is None:
+            counters = self._per_tenant[tenant] = {
+                "submitted": 0,
+                "completed": 0,
+                "shed": 0,
+            }
+        return counters
+
+    # -- connection handling ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection until EOF or a framing fault."""
+        self._connections_opened += 1
+        connection = _Connection(self._connections_opened, writer)
+        self._connections.add(connection)
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(_LENGTH_BYTES)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                body_length = int.from_bytes(prefix, "big")
+                if body_length < 4 or body_length > MAX_FRAME_BYTES:
+                    # The stream cannot be resynchronised after a bad
+                    # length: reply once, then drop the connection.
+                    await self._send_error(
+                        connection, None, "BAD_FRAME",
+                        f"frame length {body_length} outside [4, {MAX_FRAME_BYTES}]",
+                    )
+                    return
+                try:
+                    body = await reader.readexactly(body_length)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    return
+                try:
+                    header, payload = decode_frame(body)
+                except FrameError as exc:
+                    # Frame boundary is intact — the connection survives.
+                    await self._send_error(connection, None, "BAD_FRAME", str(exc))
+                    continue
+                await self._handle_frame(connection, header, payload)
+        finally:
+            connection.open = False
+            self._connections.discard(connection)
+            dropped = self._queue.drain_where(
+                lambda item: item.connection is connection
+            )
+            self._cancelled_disconnect += dropped
+            writer.close()
+
+    async def _handle_frame(
+        self, connection: _Connection, header: dict, payload: bytes
+    ) -> None:
+        """Route one decoded frame to its operation handler."""
+        op = header.get("op")
+        request_id = header.get("id")
+        self._requests[str(op)] = self._requests.get(str(op), 0) + 1
+        if op == "hello":
+            tenant = header.get("tenant")
+            if tenant is not None:
+                connection.tenant = str(tenant)
+            await self._send(
+                connection,
+                {"ok": True, "op": "hello", "id": request_id, "tenant": connection.tenant},
+            )
+        elif op == "ping":
+            await self._send(connection, {"ok": True, "op": "ping", "id": request_id})
+        elif op == "stats":
+            await self._send(
+                connection,
+                {"ok": True, "op": "stats", "id": request_id, "stats": self.stats.as_dict()},
+            )
+        elif op in ("classify", "window"):
+            await self._admit(connection, header, payload, op, request_id)
+        else:
+            await self._send_error(
+                connection, request_id, "BAD_REQUEST", f"unknown op {op!r}"
+            )
+
+    async def _admit(
+        self, connection: _Connection, header: dict, payload: bytes, op: str, request_id
+    ) -> None:
+        """Admission control: validate, shed, or enqueue one request."""
+        tenant = connection.tenant
+        counters = self._tenant_counters(tenant)
+        counters["submitted"] += 1
+        if op == "window" and self.decoder_factory is None:
+            await self._send_error(
+                connection, request_id, "UNSUPPORTED",
+                "this gateway has no dynamic-window decoder configured",
+            )
+            return
+        try:
+            queries = unpack_series(header, payload)
+        except FrameError as exc:
+            await self._send_error(connection, request_id, "BAD_REQUEST", str(exc))
+            return
+        times = None
+        if op == "window":
+            times = header.get("times")
+            if not isinstance(times, list) or len(times) != queries.shape[0]:
+                await self._send_error(
+                    connection, request_id, "BAD_REQUEST",
+                    "window header needs one 'times' entry per series",
+                )
+                return
+            times = [float(t) for t in times]
+        if connection.inflight >= self.max_inflight_per_connection:
+            self._shed["inflight"] = self._shed.get("inflight", 0) + 1
+            counters["shed"] += 1
+            await self._send(
+                connection,
+                {
+                    "ok": False,
+                    "op": op,
+                    "id": request_id,
+                    "error": {
+                        "code": "OVERLOADED",
+                        "message": (
+                            f"connection already has "
+                            f"{self.max_inflight_per_connection} requests in flight"
+                        ),
+                        "retryable": True,
+                    },
+                },
+            )
+            return
+        if len(self._queue) >= self.max_queue_depth:
+            self._shed["queue"] = self._shed.get("queue", 0) + 1
+            counters["shed"] += 1
+            await self._send(
+                connection,
+                {
+                    "ok": False,
+                    "op": op,
+                    "id": request_id,
+                    "error": {
+                        "code": "OVERLOADED",
+                        "message": f"gateway queue at capacity ({self.max_queue_depth})",
+                        "retryable": True,
+                    },
+                },
+            )
+            return
+        connection.inflight += 1
+        self._queue.push(
+            tenant, _PendingRequest(connection, request_id, op, queries, times)
+        )
+        self._queue_event.set()
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Release admitted requests in weighted-fair order, bounded by
+        the dispatch-concurrency semaphore."""
+        semaphore = asyncio.Semaphore(self.max_dispatch_concurrency)
+        while True:
+            # Take a dispatch slot *before* popping: a request stays in
+            # its tenant's fair queue (still countable against
+            # max_queue_depth, still drainable on disconnect) until the
+            # moment it can actually run.
+            await semaphore.acquire()
+            while True:
+                popped = self._queue.pop()
+                if popped is not None:
+                    break
+                self._queue_event.clear()
+                await self._queue_event.wait()
+            tenant, request = popped
+            if not request.connection.open:
+                request.connection.inflight -= 1
+                self._cancelled_disconnect += 1
+                semaphore.release()
+                continue
+            if self.record_dispatch:
+                self.dispatch_log.append(tenant)
+            task = asyncio.ensure_future(self._process(tenant, request, semaphore))
+            self._process_tasks.add(task)
+            task.add_done_callback(self._process_tasks.discard)
+
+    async def _process(
+        self, tenant: str, request: _PendingRequest, semaphore: asyncio.Semaphore
+    ) -> None:
+        """Resolve one dispatched request and reply to its client."""
+        connection = request.connection
+        try:
+            try:
+                results = await self._classify_with_failover(request, tenant)
+            except ValueError as exc:
+                await self._send_error(connection, request.request_id, "BAD_REQUEST", str(exc))
+                return
+            except _AllReplicasDead as exc:
+                await self._send_error(
+                    connection, request.request_id, "BACKEND_FAILURE", str(exc)
+                )
+                return
+            if request.op == "classify":
+                fields, payload = pack_results(results)
+                fields.update({"ok": True, "op": "classify", "id": request.request_id})
+                await self._send(connection, fields, payload)
+            else:
+                verdict = self._decode_window(request, results)
+                verdict.update({"ok": True, "op": "window", "id": request.request_id})
+                await self._send(connection, verdict)
+            self._completed += 1
+            self._tenant_counters(tenant)["completed"] += 1
+        except asyncio.CancelledError:  # gateway shutting down
+            raise
+        finally:
+            connection.inflight -= 1
+            semaphore.release()
+
+    def _decode_window(self, request: _PendingRequest, results) -> dict:
+        """Run the dynamic-window decoder over per-frame verdict labels."""
+        from repro.recognition.dynamic import DynamicObservation
+
+        decoder = self.decoder_factory()
+        labels = [result.label for result in results]
+        decoder.extend(
+            DynamicObservation(time_s=time_s, label=label)
+            for time_s, label in zip(request.times, labels)
+        )
+        verdict = decoder.result()
+        return {
+            "sign_name": verdict.sign_name,
+            "cycles_seen": verdict.cycles_seen,
+            "labels": labels,
+            "times": request.times,
+        }
+
+    async def _classify_with_failover(
+        self, request: _PendingRequest, tenant: str
+    ):
+        """Classify via the next live replica, failing over on faults.
+
+        ``ValueError`` (a bad query, e.g. wrong series length) is the
+        client's fault and propagates without retiring the replica;
+        anything else marks the replica dead, counts a failover and
+        retries the remaining live replicas in round-robin order.
+        """
+        loop = asyncio.get_running_loop()
+        start = self._rr
+        self._rr += 1
+        last_error: Exception | None = None
+        for offset in range(len(self._replicas)):
+            replica = self._replicas[(start + offset) % len(self._replicas)]
+            if not replica.alive:
+                continue
+            replica.dispatched += 1
+            queries = list(request.queries)
+            try:
+                submit_batch = getattr(replica.backend, "submit_batch", None)
+                if submit_batch is not None:
+                    futures = await loop.run_in_executor(
+                        None, lambda: submit_batch(queries, tag=tenant)
+                    )
+                    return await asyncio.gather(
+                        *(asyncio.wrap_future(f) for f in futures)
+                    )
+                return await loop.run_in_executor(
+                    None, replica.backend.classify_batch, queries
+                )
+            except ValueError:
+                replica.dispatched -= 1
+                raise
+            except Exception as exc:  # noqa: BLE001 — replica fault: fail over
+                replica.alive = False
+                replica.failed += 1
+                self._failovers += 1
+                last_error = exc
+        detail = "".join(
+            traceback.format_exception_only(type(last_error), last_error)
+        ).strip() if last_error is not None else "no live replicas"
+        raise _AllReplicasDead(f"all {len(self._replicas)} replicas failed ({detail})")
+
+    # -- replies ----------------------------------------------------------------------
+
+    async def _send(self, connection: _Connection, header: dict, payload: bytes = b"") -> None:
+        """Write one frame to *connection*, tolerating a vanished peer."""
+        if not connection.open:
+            return
+        frame = encode_frame(header, payload)
+        async with connection.write_lock:
+            try:
+                connection.writer.write(frame)
+                await connection.writer.drain()
+            except (ConnectionError, OSError):
+                connection.open = False
+
+    async def _send_error(
+        self, connection: _Connection, request_id, code: str, message: str
+    ) -> None:
+        """Reply with a structured error frame and count it."""
+        self._errors[code] = self._errors.get(code, 0) + 1
+        await self._send(
+            connection,
+            {
+                "ok": False,
+                "id": request_id,
+                "error": {"code": code, "message": message, "retryable": code == "OVERLOADED"},
+            },
+        )
+
+
+class _AllReplicasDead(RuntimeError):
+    """Every backend replica has been retired by failover."""

@@ -1,0 +1,174 @@
+"""Length-prefixed JSON + binary frame codec for the recognition gateway.
+
+One frame on the wire is::
+
+    u32 body_length | u32 header_length | header (UTF-8 JSON) | payload
+
+(big-endian length prefixes).  The JSON header carries the operation,
+request id and array shapes; bulk numeric data — query series on the
+way in, verdict distances on the way out — travels as raw
+little-endian ``float64`` payload bytes.  Keeping distances binary is
+what makes the gateway's verdicts **bit-identical** to in-process
+:meth:`~repro.sax.database.SignDatabase.classify_batch`: no decimal
+round-trip ever touches a float.
+
+The codec is transport-agnostic (both the asyncio server and the
+blocking sync client use it) and hardened: every length is bounded by
+``MAX_FRAME_BYTES``, headers must decode to a JSON object, and any
+violation raises :class:`FrameError` naming the problem — the server
+turns that into a structured error reply instead of dying.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.sax.database import MatchResult
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "pack_series",
+    "unpack_series",
+    "pack_results",
+    "unpack_results",
+]
+
+# Generous for real workloads (a 4096-query batch of 512-point float64
+# series is 16 MiB) while bounding what one client can make the server
+# buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_U32 = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the wire protocol (length, JSON or shape)."""
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialise one frame: ``u32 body_len | u32 header_len | header | payload``."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body_length = 4 + len(header_bytes) + len(payload)
+    if body_length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {body_length} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return b"".join(
+        (_U32.pack(body_length), _U32.pack(len(header_bytes)), header_bytes, payload)
+    )
+
+
+def decode_frame(body: bytes) -> tuple[dict, bytes]:
+    """Split one frame *body* (length prefix already consumed) into
+    ``(header, payload)``.
+
+    Raises
+    ------
+    FrameError
+        If the header length is inconsistent with the body, the header
+        is not valid UTF-8 JSON, or it is not a JSON object.
+    """
+    if len(body) < 4:
+        raise FrameError(f"frame body of {len(body)} bytes is too short for a header length")
+    (header_length,) = _U32.unpack_from(body)
+    if header_length > len(body) - 4:
+        raise FrameError(
+            f"declared header length {header_length} exceeds frame body ({len(body) - 4} bytes)"
+        )
+    header_bytes = body[4 : 4 + header_length]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise FrameError(f"frame header must be a JSON object, got {type(header).__name__}")
+    return header, body[4 + header_length :]
+
+
+def pack_series(series: Sequence[np.ndarray] | np.ndarray) -> tuple[dict, bytes]:
+    """Pack a query batch as header fields plus raw float64 payload.
+
+    Returns ``({"count": B, "length": n}, payload)`` where the payload
+    is the C-order little-endian float64 bytes of the ``(B, n)`` stack.
+    All series must share one length (the same constraint every
+    batched classifier enforces).
+    """
+    stack = np.ascontiguousarray(series, dtype="<f8")
+    if stack.ndim != 2:
+        raise FrameError(f"expected a (B, n) batch of series, got ndim={stack.ndim}")
+    return {"count": int(stack.shape[0]), "length": int(stack.shape[1])}, stack.tobytes()
+
+
+def unpack_series(header: dict, payload: bytes) -> np.ndarray:
+    """Rebuild the ``(B, n)`` float64 query stack from a classify frame.
+
+    Raises :class:`FrameError` when the declared shape is missing,
+    non-positive, or disagrees with the payload size.
+    """
+    try:
+        count = int(header["count"])
+        length = int(header["length"])
+    except (KeyError, TypeError, ValueError):
+        raise FrameError("classify header needs integer 'count' and 'length'") from None
+    if count < 1 or length < 1:
+        raise FrameError(f"series shape ({count}, {length}) must be positive")
+    expected = count * length * 8
+    if len(payload) != expected:
+        raise FrameError(
+            f"series payload is {len(payload)} bytes, expected {expected} "
+            f"for shape ({count}, {length})"
+        )
+    return np.frombuffer(payload, dtype="<f8").reshape(count, length).astype(
+        np.float64, copy=True
+    )
+
+
+def pack_results(results: Sequence[MatchResult]) -> tuple[dict, bytes]:
+    """Pack verdicts as label lists plus raw float64 distance payload.
+
+    Labels (exact strings, ``None`` for rejections) ride in the JSON
+    header; ``distance`` and ``runner_up_distance`` ride as float64
+    pairs in the payload so the client rebuilds bit-identical
+    :class:`~repro.sax.database.MatchResult` values.
+    """
+    distances = np.empty((len(results), 2), dtype="<f8")
+    labels: list[str | None] = []
+    runners: list[str | None] = []
+    for index, result in enumerate(results):
+        labels.append(result.label)
+        runners.append(result.runner_up_label)
+        distances[index, 0] = result.distance
+        distances[index, 1] = result.runner_up_distance
+    fields = {"count": len(results), "labels": labels, "runner_up_labels": runners}
+    return fields, distances.tobytes()
+
+
+def unpack_results(header: dict, payload: bytes) -> list[MatchResult]:
+    """Rebuild the verdict list from a classify reply frame."""
+    try:
+        count = int(header["count"])
+        labels = header["labels"]
+        runners = header["runner_up_labels"]
+    except (KeyError, TypeError, ValueError):
+        raise FrameError(
+            "result header needs 'count', 'labels' and 'runner_up_labels'"
+        ) from None
+    if len(payload) != count * 16 or len(labels) != count or len(runners) != count:
+        raise FrameError(f"result frame is inconsistent with count={count}")
+    distances = np.frombuffer(payload, dtype="<f8").reshape(count, 2)
+    return [
+        MatchResult(
+            label=labels[index],
+            distance=float(distances[index, 0]),
+            runner_up_label=runners[index],
+            runner_up_distance=float(distances[index, 1]),
+        )
+        for index in range(count)
+    ]

@@ -45,6 +45,8 @@ from typing import Any, Sequence
 
 from repro.dataflow.graph import Graph, GraphStats
 from repro.drone.agent import DroneAgent
+from repro.gateway.client import GatewayClassifier
+from repro.gateway.server import GatewayStats, RecognitionGateway
 from repro.geometry.vec import Vec2
 from repro.mission.executor import MissionExecutor, MissionReport
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
@@ -53,8 +55,9 @@ from repro.protocol.negotiation import NegotiationConfig
 from repro.protocol.perception import OraclePerception, Perception
 from repro.protocol.recognizer import PerceptionStats, RecognizerPerception
 from repro.recognition.budget import BudgetReport
+from repro.recognition.classifier import InProcessClassifier
 from repro.recognition.pipeline import SaxSignRecognizer
-from repro.service import RecognitionService, ServiceStats
+from repro.service import RecognitionService, ServiceClassifier, ServiceStats
 from repro.simulation.scenarios import (
     DEFAULT_LIGHTINGS,
     DEFAULT_WINDS,
@@ -117,6 +120,7 @@ class FleetReport:
     perception_stats: PerceptionStats | None = None
     perception_budget: BudgetReport | None = None
     service_stats: ServiceStats | None = None
+    gateway_stats: GatewayStats | None = None
     graph_stats: GraphStats | None = None
     escalation_events: tuple = ()
 
@@ -170,12 +174,22 @@ class FleetScheduler:
         ``mission`` stage).
     service:
         A :class:`~repro.service.RecognitionService` whose lifecycle
-        this scheduler *owns* — started by :func:`build_fleet` when
-        ``workers > 0``; stopped when :meth:`run` finishes (or fails)
+        this scheduler *owns* — started by :func:`build_fleet` in the
+        service backend; stopped when :meth:`run` finishes (or fails)
         and by :meth:`close`.
+    gateway:
+        A running :class:`~repro.gateway.server.RecognitionGateway`
+        whose :attr:`~repro.gateway.server.RecognitionGateway.stats`
+        feed :attr:`FleetReport.gateway_stats` — wired by
+        :func:`build_fleet` in the gateway backend.  Its lifecycle is
+        owned only when it also appears in *owned*.
+    owned:
+        Extra resources this scheduler owns (classifier clients, the
+        gateway): each is ``close()``\\ d (or ``stop()``\\ ped) by
+        :meth:`close`, in order, after the graph and service.
 
     The scheduler is a context manager: ``with`` guarantees
-    :meth:`close` (graph and owned service released) even when a
+    :meth:`close` (graph and owned resources released) even when a
     pipeline node raises mid-tick.
     """
 
@@ -184,6 +198,8 @@ class FleetScheduler:
         missions: Sequence[FleetMission],
         batch_perception: bool = True,
         service: RecognitionService | None = None,
+        gateway: RecognitionGateway | None = None,
+        owned: Sequence = (),
     ) -> None:
         if not missions:
             raise ValueError("a fleet needs at least one mission")
@@ -196,6 +212,8 @@ class FleetScheduler:
         self.missions = list(missions)
         self.batch_perception = batch_perception
         self.service = service
+        self.gateway = gateway
+        self.owned = tuple(owned)
         self.time_step_s = steps.pop()
         self._graph = build_fleet_graph(
             self.missions, batch_perception=batch_perception
@@ -295,13 +313,14 @@ class FleetScheduler:
             self.close()
 
     def close(self) -> None:
-        """Close the pipeline graph and stop the owned recognition
-        service, if any.  Idempotent.
+        """Close the pipeline graph, stop the owned recognition service
+        and release every other owned resource.  Idempotent.
 
-        The service is stopped even when closing a graph node raises,
-        so graph-owned resources are always released.  Counters stay
-        readable after close — :meth:`report` still includes the final
-        :class:`~repro.service.ServiceStats` and graph stats.
+        Releases happen even when closing a graph node raises, so
+        graph-owned resources never leak.  Counters stay readable after
+        close — :meth:`report` still includes the final
+        :class:`~repro.service.ServiceStats`, gateway stats and graph
+        stats.
         """
         if self._closed:
             return
@@ -309,8 +328,16 @@ class FleetScheduler:
         try:
             self._graph.close()
         finally:
-            if self.service is not None:
-                self.service.stop()
+            try:
+                if self.service is not None:
+                    self.service.stop()
+            finally:
+                for resource in self.owned:
+                    release = getattr(resource, "close", None) or getattr(
+                        resource, "stop", None
+                    )
+                    if release is not None:
+                        release()
 
     def __enter__(self) -> "FleetScheduler":
         """Context-manager entry: returns the scheduler."""
@@ -350,6 +377,7 @@ class FleetScheduler:
             perception_stats=stats,
             perception_budget=budget,
             service_stats=self.service.stats if self.service is not None else None,
+            gateway_stats=self.gateway.stats if self.gateway is not None else None,
             graph_stats=self._graph.stats(),
         )
 
@@ -366,6 +394,7 @@ def build_fleet(
     per_frame: bool = False,
     drone_home: Vec2 = DEFAULT_DRONE_HOME,
     workers: int = 0,
+    backend: str = "auto",
 ) -> FleetScheduler:
     """Build a ready-to-run fleet of *count* distinct missions.
 
@@ -389,26 +418,52 @@ def build_fleet(
         batching — the naive per-frame reference configuration the
         fleet benchmark measures against.
     workers:
-        With ``perception="recognizer"``: route the shared core's
-        classification through a started
-        :class:`~repro.service.RecognitionService` with this many shard
-        worker processes, so a 32–64 mission fleet's matching work
-        scales across cores.  The returned scheduler owns the service
-        (stopped when :meth:`FleetScheduler.run` completes, or via
-        :meth:`FleetScheduler.close`); mission outcomes are identical
-        to ``workers=0`` by the sharding-parity contract.
+        Shard worker processes of the
+        :class:`~repro.service.RecognitionService` behind the
+        ``"service"`` and ``"gateway"`` backends (``workers=0`` under
+        ``"gateway"`` serves from an in-process replica instead).
+    backend:
+        Where the shared core's ``sax_match`` stage runs — the
+        classifier-client API makes this a deployment choice:
+
+        * ``"auto"`` (default): ``"service"`` when ``workers > 0``,
+          else ``"inprocess"``.
+        * ``"inprocess"``: the database's own batched engine.
+        * ``"service"``: a started shard-pool service wrapped in a
+          :class:`~repro.service.ServiceClassifier`; the scheduler
+          owns the service.
+        * ``"gateway"``: a running in-process
+          :class:`~repro.gateway.server.RecognitionGateway` over one
+          replica (service-backed when ``workers > 0``), reached
+          through a :class:`~repro.gateway.client.GatewayClassifier`
+          connection; the scheduler owns client, gateway and backend,
+          and :attr:`FleetReport.gateway_stats` reports the gateway's
+          counters.
+
+        Mission outcomes are identical across backends by the
+        sharding- and gateway-parity contracts.
     """
     if count < 1:
         raise ValueError("fleet needs at least one mission")
     if workers < 0:
         raise ValueError("workers must be non-negative")
-    if workers and perception != "recognizer":
-        raise ValueError("workers requires the recognizer perception")
+    if backend not in ("auto", "inprocess", "service", "gateway"):
+        raise ValueError(f"unknown backend: {backend!r}")
+    if backend == "auto":
+        backend = "service" if workers else "inprocess"
+    if backend == "service" and not workers:
+        raise ValueError("backend='service' needs workers >= 1")
+    if backend == "inprocess" and workers:
+        raise ValueError("backend='inprocess' cannot use shard workers")
+    if backend != "inprocess" and perception != "recognizer":
+        raise ValueError(f"backend={backend!r} requires the recognizer perception")
     cfg = config if config is not None else OrchardConfig()
     shared: RecognizerPerception | None = None
     service: RecognitionService | None = None
+    gateway: RecognitionGateway | None = None
+    owned: tuple = ()
     if perception == "recognizer":
-        if workers:
+        if backend == "service":
             recognizer = SaxSignRecognizer()
             recognizer.enroll_canonical_views()
             service = RecognitionService(
@@ -418,7 +473,32 @@ def build_fleet(
                 recognizer=recognizer,
                 per_frame=per_frame,
                 memoize=not per_frame,
-                service=service,
+                classifier=ServiceClassifier(service, tag="fleet"),
+            )
+        elif backend == "gateway":
+            recognizer = SaxSignRecognizer()
+            recognizer.enroll_canonical_views()
+            if workers:
+                replica = ServiceClassifier(
+                    RecognitionService(recognizer.database, workers=workers).start(),
+                    owns_service=True,
+                )
+            else:
+                replica = InProcessClassifier(recognizer.database)
+            gateway = RecognitionGateway([replica], own_backends=True)
+            try:
+                gateway.start()
+                host, port = gateway.address
+                client = GatewayClassifier(host, port, tenant="fleet")
+            except BaseException:
+                gateway.close()
+                raise
+            owned = (client, gateway)
+            shared = RecognizerPerception(
+                recognizer=recognizer,
+                per_frame=per_frame,
+                memoize=not per_frame,
+                classifier=client,
             )
         else:
             shared = RecognizerPerception(
@@ -471,13 +551,20 @@ def build_fleet(
                 )
             )
         return FleetScheduler(
-            missions, batch_perception=batch_perception, service=service
+            missions,
+            batch_perception=batch_perception,
+            service=service,
+            gateway=gateway,
+            owned=owned,
         )
     except BaseException:
-        # The service's worker processes were already started above —
-        # don't leak them when mission construction fails.
+        # Backend resources (worker processes, the gateway thread) were
+        # already started above — don't leak them when mission
+        # construction fails.
         if service is not None:
             service.stop()
+        for resource in owned:
+            resource.close()
         raise
 
 

@@ -53,7 +53,7 @@ from repro.protocol.perception import OraclePerception, Perception
 from repro.protocol.recognizer import RecognizerPerception
 from repro.protocol.safety import SafetyLimits, SafetyMonitor
 from repro.recognition.pipeline import SaxSignRecognizer
-from repro.service import RecognitionService
+from repro.service import RecognitionService, ServiceClassifier
 from repro.simulation.events import EventEmitter, SimEvent
 from repro.simulation.scenarios import (
     DEFAULT_LIGHTINGS,
@@ -478,7 +478,10 @@ def build_surveillance_fleet(
         recognizer = SaxSignRecognizer()
         recognizer.enroll_canonical_views()
         service = RecognitionService(recognizer.database, workers=workers).start()
-        shared = RecognizerPerception(recognizer=recognizer, service=service)
+        shared = RecognizerPerception(
+            recognizer=recognizer,
+            classifier=ServiceClassifier(service, tag="surveillance"),
+        )
     else:
         shared = RecognizerPerception()
     try:

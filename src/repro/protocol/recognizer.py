@@ -46,6 +46,7 @@ reference used by the envelope benchmarks) it is built to sit inside a
 from __future__ import annotations
 
 import math
+import warnings
 from collections import OrderedDict
 from dataclasses import astuple, dataclass, field
 from typing import TYPE_CHECKING, Sequence
@@ -58,6 +59,7 @@ from repro.human.render import RenderSettings, render_frame
 from repro.human.signs import MarshallingSign
 from repro.protocol.perception import ObservationGeometry
 from repro.recognition.budget import BudgetReport, FrameBudget, StageTiming
+from repro.recognition.classifier import Classifier, resolve_classify_callable
 from repro.recognition.pipeline import (
     TORSO_CENTRE_HEIGHT_M,
     SaxSignRecognizer,
@@ -248,13 +250,18 @@ class _PerceptionCore:
         memoize: bool,
         per_frame: bool,
         max_cache_entries: int,
+        classifier: Classifier | None = None,
         service: "RecognitionService | None" = None,
     ) -> None:
         self.recognizer = recognizer
         self.memoize = memoize
         self.per_frame = per_frame
         self.max_cache_entries = max_cache_entries
-        self.service = service
+        self.classifier = classifier
+        self.classify_callable = resolve_classify_callable(classifier)
+        self.service = (
+            service if service is not None else getattr(classifier, "service", None)
+        )
         self.cache: OrderedDict[ObservationQuery, MarshallingSign | None] = OrderedDict()
         self.budget = FrameBudget(budget_s=recognizer.frame_budget_s)
         self.observations = 0
@@ -347,18 +354,19 @@ class _PerceptionCore:
     ) -> list[MarshallingSign | None]:
         """SAX-match preprocessed queries and fill the result cache.
 
-        One batched database call over the usable series (routed
-        through the shard-worker pool in service-backed mode — results
-        stay bit-identical by the sharding-parity contract), timed as
-        the ``classify.sax_match`` sub-stage.  Per-frame verdicts map
-        onto :class:`~repro.human.signs.MarshallingSign` exactly as
-        :attr:`~repro.recognition.pipeline.Recognition.sign` does;
-        unusable frames (no silhouette) read ``None``.
+        One batched classifier call over the usable series (routed
+        through the configured :class:`Classifier` backend — a shard
+        pool or a network gateway — when one is set; results stay
+        bit-identical by the sharding- and gateway-parity contracts),
+        timed as the ``classify.sax_match`` sub-stage.  Per-frame
+        verdicts map onto :class:`~repro.human.signs.MarshallingSign`
+        exactly as :attr:`~repro.recognition.pipeline.Recognition.sign`
+        does; unusable frames (no silhouette) read ``None``.
         """
         usable = [pre.series for pre in pres if pre.ok]
         classifier = (
-            self.service.classify_batch
-            if self.service is not None
+            self.classify_callable
+            if self.classify_callable is not None
             else self.recognizer.database.classify_batch
         )
         with self.budget.stage("classify"):
@@ -442,14 +450,23 @@ class RecognizerPerception:
         Camera-position grid step; 0 disables quantisation.
     max_cache_entries:
         LRU capacity of the result cache.
-    service:
-        Optional running :class:`~repro.service.RecognitionService`
-        built over this recogniser's database: the ``sax_match`` stage
-        of every batched classification is routed through the service's
-        shard-worker pool instead of the in-process
+    classifier:
+        Optional :class:`~repro.recognition.classifier.Classifier`
+        backend (e.g. a
+        :class:`~repro.service.classifier.ServiceClassifier` over a
+        shard pool, or a
+        :class:`~repro.gateway.client.GatewayClassifier` over the
+        network gateway): the ``sax_match`` stage of every batched
+        classification is routed through it instead of the in-process
         ``classify_batch``.  Results are bit-identical (the sharding-
-        parity contract), so this only changes *where* the matching
-        work runs.  The caller owns the service lifecycle.
+        and gateway-parity contracts), so this only changes *where* the
+        matching work runs.  The caller owns the classifier lifecycle.
+    service:
+        **Deprecated** — pass
+        ``classifier=ServiceClassifier(service)`` instead.  Accepted
+        for one release as a :class:`DeprecationWarning` shim wrapping
+        the service in a
+        :class:`~repro.service.classifier.ServiceClassifier`.
     """
 
     def __init__(
@@ -461,8 +478,21 @@ class RecognizerPerception:
         memoize: bool = True,
         pose_quantum_m: float = 0.05,
         max_cache_entries: int = 8192,
+        classifier: Classifier | None = None,
         service: "RecognitionService | None" = None,
     ) -> None:
+        if service is not None:
+            warnings.warn(
+                "RecognizerPerception(service=...) is deprecated; pass "
+                "classifier=ServiceClassifier(service) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if classifier is not None:
+                raise ValueError("pass either classifier= or service=, not both")
+            from repro.service.classifier import ServiceClassifier
+
+            classifier = ServiceClassifier(service)
         if recognizer is None:
             recognizer = SaxSignRecognizer()
             recognizer.enroll_canonical_views()
@@ -478,6 +508,7 @@ class RecognizerPerception:
             memoize=memoize,
             per_frame=per_frame,
             max_cache_entries=max_cache_entries,
+            classifier=classifier,
             service=service,
         )
 
@@ -503,8 +534,15 @@ class RecognizerPerception:
         return self._core.recognizer
 
     @property
+    def classifier(self) -> Classifier | None:
+        """The configured classifier backend, when one is set."""
+        return self._core.classifier
+
+    @property
     def service(self) -> "RecognitionService | None":
-        """The backing recognition service, when service-backed."""
+        """The backing recognition service, when service-backed
+        (directly via the deprecated ``service=`` shim, or through a
+        :class:`~repro.service.classifier.ServiceClassifier`)."""
         return self._core.service
 
     @property

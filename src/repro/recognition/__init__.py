@@ -11,6 +11,11 @@ from repro.recognition.baselines import (
     TemplateCorrelationClassifier,
 )
 from repro.recognition.budget import BudgetReport, FrameBudget, StageTiming
+from repro.recognition.classifier import (
+    Classifier,
+    ClassifierStats,
+    InProcessClassifier,
+)
 from repro.recognition.dynamic import (
     DynamicObservation,
     DynamicRecognition,
@@ -45,6 +50,9 @@ from repro.recognition.preprocess import (
 
 __all__ = [
     "BaselineResult",
+    "Classifier",
+    "ClassifierStats",
+    "InProcessClassifier",
     "DynamicObservation",
     "DynamicRecognition",
     "DynamicSignRecognizer",

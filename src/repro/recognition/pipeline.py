@@ -27,6 +27,7 @@ from repro.human.pose import pose_for_sign
 from repro.human.render import RenderSettings, render_frame
 from repro.human.signs import COMMUNICATIVE_SIGNS, MarshallingSign
 from repro.recognition.budget import BudgetReport, FrameBudget
+from repro.recognition.classifier import Classifier, resolve_classify_callable
 from repro.recognition.preprocess import (
     PreprocessSettings,
     preprocess_frame,
@@ -237,7 +238,7 @@ class SaxSignRecognizer:
         self,
         frames: Sequence[Image],
         elevation_deg: float | Sequence[float] | None = None,
-        classifier: Callable[[Sequence], list] | None = None,
+        classifier: "Classifier | Callable[[Sequence], list] | None" = None,
     ) -> list[Recognition]:
         """Recognise a batch of frames in one amortised pass.
 
@@ -259,17 +260,20 @@ class SaxSignRecognizer:
             A single elevation applied to every frame, or one elevation
             per frame.
         classifier:
-            Optional replacement for the database's ``classify_batch``
-            — must map a batch of signature series to a list of
-            :class:`~repro.sax.database.MatchResult` in order.  The
-            seam the service-backed perception uses to route the
-            ``sax_match`` stage through a
-            :class:`~repro.service.RecognitionService` shard pool
-            (bit-identical results, by the sharding-parity contract).
+            Optional :class:`~repro.recognition.classifier.Classifier`
+            backend replacing the database's ``classify_batch`` — the
+            seam that routes the ``sax_match`` stage through a
+            :class:`~repro.service.classifier.ServiceClassifier` shard
+            pool or a
+            :class:`~repro.gateway.client.GatewayClassifier`
+            (bit-identical results, by the sharding- and gateway-parity
+            contracts).  A bare ``classify_batch``-shaped callable is
+            still accepted but deprecated.
         """
         frames = list(frames)
         if not self.database.labels:
             raise RuntimeError("no signs enrolled; call enroll_canonical_views() first")
+        classifier = resolve_classify_callable(classifier)
         if classifier is None:
             classifier = self.database.classify_batch
         budget = FrameBudget(

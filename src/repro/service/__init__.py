@@ -5,7 +5,12 @@ Public surface of the service subsystem:
 * :class:`~repro.service.service.RecognitionService` — input queue,
   size/deadline batch coalescing, backpressure cap, a pool of shard
   worker processes, and :class:`~repro.service.service.ServiceStats`
-  observability.
+  observability (including per-tag request attribution).
+* :class:`~repro.service.classifier.ServiceClassifier` — the service's
+  face on the backend-agnostic
+  :class:`~repro.recognition.classifier.Classifier` protocol, including
+  the tagged :meth:`~repro.service.classifier.ServiceClassifier.submit_batch`
+  seam the network gateway multiplexes tenants through.
 * :func:`~repro.service.sharding.build_shards` /
   :func:`~repro.service.sharding.sharded_classify_batch` — shard-view
   construction over :class:`~repro.sax.database.SignDatabase` and the
@@ -16,10 +21,12 @@ See ``docs/ARCHITECTURE.md`` ("Recognition service & sharding") for the
 dataflow diagram and the sharding-parity contract.
 """
 
+from repro.service.classifier import ServiceClassifier
 from repro.service.service import (
     RecognitionService,
     ServiceOverloadedError,
     ServiceStats,
+    ServiceTimeoutError,
     ShardStats,
     ShardWorkerError,
 )
@@ -33,8 +40,10 @@ from repro.service.sharding import (
 __all__ = [
     "DatabaseShard",
     "RecognitionService",
+    "ServiceClassifier",
     "ServiceOverloadedError",
     "ServiceStats",
+    "ServiceTimeoutError",
     "ShardStats",
     "ShardWorkerError",
     "build_shards",

@@ -39,6 +39,7 @@ import threading
 import time
 import traceback
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -51,13 +52,20 @@ __all__ = [
     "RecognitionService",
     "ServiceOverloadedError",
     "ServiceStats",
+    "ServiceTimeoutError",
     "ShardStats",
     "ShardWorkerError",
 ]
 
 
 class ServiceOverloadedError(RuntimeError):
-    """The input queue is at its backpressure cap and the wait timed out."""
+    """Queue-full timeout: the input queue stayed at its backpressure
+    cap for the whole submit wait — the request was never accepted."""
+
+
+class ServiceTimeoutError(TimeoutError):
+    """Result-wait timeout: the request *was* accepted (queued or
+    dispatched) but its verdict did not resolve in time."""
 
 
 class ShardWorkerError(RuntimeError):
@@ -97,6 +105,7 @@ class ServiceStats:
     flushes: dict[str, int] = field(default_factory=dict)
     batch_fill: dict[int, int] = field(default_factory=dict)
     shards: tuple[ShardStats, ...] = ()
+    by_tag: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_batch_fill(self) -> float:
@@ -114,6 +123,7 @@ class _Request:
     series: np.ndarray
     future: Future
     enqueued_at: float
+    tag: str | None = None
 
 
 def _shard_payload(shard: DatabaseShard) -> tuple:
@@ -248,6 +258,7 @@ class RecognitionService:
         self._failed = 0
         self._cancelled = 0
         self._batches = 0
+        self._by_tag: dict[str, int] = {}
         self._flushes: dict[str, int] = {}
         self._batch_fill: dict[int, int] = {}
         self._shard_batches: list[int] = []
@@ -389,7 +400,9 @@ class RecognitionService:
             )
         return query
 
-    def submit(self, series, timeout_s: float | None = None) -> Future:
+    def submit(
+        self, series, timeout_s: float | None = None, tag: str | None = None
+    ) -> Future:
         """Queue one series for classification; returns a future.
 
         Blocks while the queue is at ``max_pending`` (the backpressure
@@ -398,11 +411,24 @@ class RecognitionService:
         single-process path, or raises :class:`ShardWorkerError` if the
         shard pool failed.
 
+        Parameters
+        ----------
+        timeout_s:
+            Bound on the *queue-full* wait only (``0`` means fail
+            immediately when full).  Waiting for the verdict itself is
+            the caller's business (``future.result(timeout=...)``) —
+            :meth:`classify_batch` raises the distinct
+            :class:`ServiceTimeoutError` for that phase.
+        tag:
+            Attribution tag (e.g. a gateway tenant); counted in
+            :attr:`ServiceStats.by_tag`.
+
         Raises
         ------
         ServiceOverloadedError
-            If the backpressure wait exceeds *timeout_s* (``0`` means
-            fail immediately when full).
+            Queue-full timeout: the input queue stayed at the
+            backpressure cap past *timeout_s* and the request was
+            **never accepted** — safe to retry elsewhere.
         RuntimeError
             If the service is not running, or the database was
             modified after :meth:`start` (stale worker shards).
@@ -433,7 +459,9 @@ class RecognitionService:
                 )
                 if remaining is not None and remaining <= 0:
                     raise ServiceOverloadedError(
-                        f"input queue at backpressure cap ({self.max_pending})"
+                        f"queue-full timeout: input queue still at the "
+                        f"backpressure cap ({self.max_pending}) after "
+                        f"{timeout_s} s — request was not accepted"
                     )
                 self._state_changed.wait(remaining)
                 if self._failure is not None:
@@ -441,13 +469,18 @@ class RecognitionService:
                 if self._stopping:
                     raise RuntimeError("service stopped while waiting for queue room")
             future: Future = Future()
-            self._queue.append(_Request(query, future, time.monotonic()))
+            self._queue.append(_Request(query, future, time.monotonic(), tag))
             self._submitted += 1
+            if tag is not None:
+                self._by_tag[tag] = self._by_tag.get(tag, 0) + 1
             self._state_changed.notify_all()
         return future
 
     def classify_batch(
-        self, queries: Sequence[np.ndarray] | np.ndarray, timeout_s: float = 300.0
+        self,
+        queries: Sequence[np.ndarray] | np.ndarray,
+        timeout_s: float = 300.0,
+        tag: str | None = None,
     ) -> list[MatchResult]:
         """Submit *queries* and wait for all verdicts, in order.
 
@@ -456,15 +489,47 @@ class RecognitionService:
         with bit-identical results.  The request set is complete once
         submitted, so a trailing partial batch is flushed immediately
         rather than waiting out the coalescing deadline.
+
+        *timeout_s* bounds the whole call and the two waiting phases
+        raise **distinct** errors: :class:`ServiceOverloadedError` when
+        a submission never got queue room (queue-full timeout — nothing
+        was accepted for that series), :class:`ServiceTimeoutError`
+        when an accepted request's verdict failed to resolve in time
+        (result-wait timeout).
         """
         if isinstance(queries, np.ndarray) and queries.ndim == 1:
             raise ValueError("expected a batch of series, got a single 1-D series")
-        futures = [self.submit(series) for series in queries]
+        deadline = time.monotonic() + timeout_s
+        futures = [
+            self.submit(series, timeout_s=deadline - time.monotonic(), tag=tag)
+            for series in queries
+        ]
+        self.flush_pending()
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(
+                    future.result(timeout=max(0.0, deadline - time.monotonic()))
+                )
+            except FuturesTimeoutError:
+                raise ServiceTimeoutError(
+                    f"result-wait timeout: request {index + 1}/{len(futures)} was "
+                    f"accepted but its verdict did not resolve within {timeout_s} s"
+                ) from None
+        return results
+
+    def flush_pending(self) -> None:
+        """Force-dispatch whatever is queued right now (non-blocking).
+
+        The gateway-facing seam paired with :meth:`submit`: after a
+        client's last submission of a burst there is nothing to coalesce
+        *for*, so the trailing partial batch should go out immediately
+        instead of waiting out the deadline.  A no-op on an empty queue.
+        """
         with self._state_changed:
             if self._queue:
                 self._force_flush = True
                 self._state_changed.notify_all()
-        return [future.result(timeout=timeout_s) for future in futures]
 
     # -- stats ------------------------------------------------------------------------
 
@@ -494,6 +559,7 @@ class RecognitionService:
                 flushes=dict(self._flushes),
                 batch_fill=dict(self._batch_fill),
                 shards=shards,
+                by_tag=dict(self._by_tag),
             )
 
     # -- dispatcher internals ----------------------------------------------------------

@@ -1,0 +1,83 @@
+"""Shared fixtures for the gateway suite: a synthetic database and
+query set (matching the service-suite workload) plus small helpers for
+building gated/failing backend doubles."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.recognition.classifier import InProcessClassifier
+from repro.sax.database import SignDatabase
+
+
+@pytest.fixture(scope="module")
+def database() -> SignDatabase:
+    rng = np.random.default_rng(0)
+    db = SignDatabase()
+    for index in range(6):
+        base = np.cumsum(rng.standard_normal(64))
+        for view in range(2):
+            db.add(
+                f"sign_{index}",
+                base + 0.05 * np.cumsum(rng.standard_normal(64)),
+                view=f"v{view}",
+            )
+    return db
+
+
+@pytest.fixture(scope="module")
+def queries(database) -> list[np.ndarray]:
+    rng = np.random.default_rng(1)
+    near = [
+        database.entry(label).series + 0.02 * rng.standard_normal(64)
+        for label in database.labels
+    ]
+    far = [np.cumsum(rng.standard_normal(64)) for _ in range(6)]
+    return near + far
+
+
+class GatedClassifier(InProcessClassifier):
+    """An in-process classifier whose dispatches block on an event.
+
+    Lets a test fill the gateway's queues deterministically: hold the
+    gate, submit load, observe shedding/fairness, then release.
+    """
+
+    def __init__(self, database: SignDatabase) -> None:
+        super().__init__(database)
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def hold(self) -> None:
+        """Block subsequent classify_batch calls until release()."""
+        self.gate.clear()
+
+    def release(self) -> None:
+        """Unblock held classify_batch calls."""
+        self.gate.set()
+
+    def classify_batch(self, batch):
+        if not self.gate.wait(timeout=30.0):  # pragma: no cover - deadlock guard
+            raise TimeoutError("GatedClassifier gate never released")
+        return super().classify_batch(batch)
+
+
+class FailingClassifier:
+    """A classifier double whose every dispatch raises."""
+
+    def __init__(self, exc: Exception | None = None) -> None:
+        self.exc = exc if exc is not None else RuntimeError("replica exploded")
+        self.calls = 0
+
+    def classify_batch(self, batch):
+        self.calls += 1
+        raise self.exc
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture
+def gated_classifier(database) -> GatedClassifier:
+    return GatedClassifier(database)

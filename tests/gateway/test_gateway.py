@@ -1,0 +1,556 @@
+"""End-to-end gateway behaviour: parity, multiplexing, flow control,
+fault isolation, fairness and failover."""
+
+import asyncio
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    AsyncGatewayClient,
+    GatewayClassifier,
+    GatewayClient,
+    GatewayError,
+    GatewayOverloadedError,
+    RecognitionGateway,
+    encode_frame,
+)
+from repro.human import MOVE_UPWARD, WAVE_OFF
+from repro.recognition.classifier import InProcessClassifier
+from repro.recognition.dynamic import DynamicObservation, DynamicSignRecognizer
+from repro.service import RecognitionService, ServiceClassifier
+
+from .conftest import FailingClassifier, GatedClassifier
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def gateway(database):
+    gw = RecognitionGateway([InProcessClassifier(database)], own_backends=True).start()
+    yield gw
+    gw.close()
+
+
+class TestProtocolBasics:
+    def test_hello_ping_stats(self, gateway):
+        with GatewayClient(*gateway.address, tenant="fleet-a") as client:
+            assert client.tenant == "fleet-a"
+            assert client.ping()
+            stats = client.server_stats()
+            assert stats["connections_active"] >= 1
+            assert stats["requests"]["hello"] == 1
+
+    def test_unknown_op_is_bad_request(self, gateway):
+        with GatewayClient(*gateway.address) as client:
+            with pytest.raises(GatewayError, match="BAD_REQUEST.*unknown op"):
+                client._request({"op": "frobnicate"})
+
+    def test_classify_parity_across_concurrent_clients(self, gateway, database, queries):
+        expected = database.classify_batch(queries)
+
+        async def load():
+            clients = [
+                await AsyncGatewayClient.connect(*gateway.address, tenant=f"t{i}")
+                for i in range(4)
+            ]
+            try:
+                results = await asyncio.gather(
+                    *(client.classify_batch(queries) for client in clients)
+                )
+            finally:
+                for client in clients:
+                    await client.aclose()
+            return results
+
+        for got in run_async(load()):
+            assert got == expected
+        # Completion counters land on the loop thread just after the
+        # replies are written; wait for all four before asserting.
+        deadline = time.monotonic() + 10.0
+        while gateway.stats.completed < 4:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        per_tenant = gateway.stats.per_tenant
+        for index in range(4):
+            assert per_tenant[f"t{index}"]["completed"] == 1
+
+    def test_pipelined_requests_on_one_connection(self, database, queries):
+        expected = [database.classify_batch([query]) for query in queries]
+
+        async def load(address):
+            client = await AsyncGatewayClient.connect(*address)
+            try:
+                return await asyncio.gather(
+                    *(client.classify_batch([query]) for query in queries)
+                )
+            finally:
+                await client.aclose()
+
+        # The whole batch is pipelined at once, so the inflight cap must
+        # admit it — admission control has its own tests.
+        with RecognitionGateway(
+            [InProcessClassifier(database)],
+            own_backends=True,
+            max_inflight_per_connection=len(queries),
+        ) as gw:
+            assert run_async(load(gw.address)) == expected
+
+
+class TestMalformedInput:
+    def _connect(self, gateway) -> socket.socket:
+        sock = socket.create_connection(gateway.address, timeout=10.0)
+        sock.settimeout(10.0)
+        return sock
+
+    def _read_reply(self, sock) -> bytes:
+        (length,) = struct.unpack(">I", self._read_exact(sock, 4))
+        return self._read_exact(sock, length)
+
+    @staticmethod
+    def _read_exact(sock, length: int) -> bytes:
+        data = b""
+        while len(data) < length:
+            chunk = sock.recv(length - len(data))
+            if not chunk:
+                raise ConnectionError("gateway closed the connection")
+            data += chunk
+        return data
+
+    def test_bad_json_header_replies_and_connection_survives(
+        self, gateway, database, queries
+    ):
+        sock = self._connect(gateway)
+        try:
+            bad_header = b"this is not json"
+            body = struct.pack(">I", len(bad_header)) + bad_header
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            reply = self._read_reply(sock)
+            assert b"BAD_FRAME" in reply
+            # Frame boundary was intact: the same connection still serves.
+            sock.sendall(encode_frame({"op": "ping", "id": 1}))
+            reply = self._read_reply(sock)
+            assert b'"ok":true' in reply
+        finally:
+            sock.close()
+        assert gateway.stats.errors.get("BAD_FRAME", 0) == 1
+
+    def test_unframeable_length_replies_then_disconnects(self, gateway):
+        sock = self._connect(gateway)
+        try:
+            sock.sendall(struct.pack(">I", 2))  # body too short for a header
+            reply = self._read_reply(sock)
+            assert b"BAD_FRAME" in reply
+            # The stream cannot be resynchronised: server hangs up.
+            assert sock.recv(1) == b""
+        finally:
+            sock.close()
+
+    def test_wrong_series_length_is_bad_request_not_failover(
+        self, gateway, database, queries
+    ):
+        with GatewayClient(*gateway.address) as client:
+            with pytest.raises(GatewayError, match="BAD_REQUEST"):
+                client.classify_batch([np.zeros(65)])
+            # The replica was not retired by the client's bad input.
+            assert client.classify_batch(queries[:2]) == database.classify_batch(
+                queries[:2]
+            )
+        stats = gateway.stats
+        assert stats.failovers == 0
+        assert stats.replicas[0]["alive"]
+
+    def test_malformed_shape_header_is_bad_request(self, gateway):
+        with GatewayClient(*gateway.address) as client:
+            with pytest.raises(GatewayError, match="BAD_REQUEST"):
+                client._request({"op": "classify", "count": 2, "length": 8}, b"short")
+
+
+class TestLoadShedding:
+    def test_queue_capacity_sheds_with_explicit_reply(self, database, queries):
+        backend = GatedClassifier(database)
+        gateway = RecognitionGateway(
+            [backend],
+            max_queue_depth=1,
+            max_dispatch_concurrency=1,
+            max_inflight_per_connection=100,
+        ).start()
+        try:
+            backend.hold()
+
+            async def load():
+                client = await AsyncGatewayClient.connect(*gateway.address, tenant="t")
+                try:
+                    # First request: dispatched, then stuck on the gate.
+                    first = asyncio.ensure_future(client.classify_batch([queries[0]]))
+                    while gateway.stats.replicas[0]["dispatched"] < 1:
+                        await asyncio.sleep(0.01)
+                    # Second request: admitted, fills the queue (depth 1).
+                    second = asyncio.ensure_future(client.classify_batch([queries[1]]))
+                    while gateway.stats.queue_depth < 1:
+                        await asyncio.sleep(0.01)
+                    # Saturated: further requests shed with OVERLOADED.
+                    sheds = []
+                    for index in range(3):
+                        with pytest.raises(GatewayOverloadedError) as excinfo:
+                            await client.classify_batch([queries[2 + index]])
+                        sheds.append(excinfo.value)
+                    backend.release()
+                    served = await asyncio.gather(first, second)
+                    return served, sheds
+                finally:
+                    await client.aclose()
+
+            served, sheds = run_async(load())
+            assert served == [
+                database.classify_batch([queries[0]]),
+                database.classify_batch([queries[1]]),
+            ]
+            assert len(sheds) == 3
+            for error in sheds:
+                assert error.retryable
+                assert "capacity" in error.message
+            # Completion counters land on the loop thread just after the
+            # replies are written; wait for both before asserting.
+            deadline = time.monotonic() + 10.0
+            while gateway.stats.completed < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            stats = gateway.stats
+            assert stats.shed == {"queue": 3}
+            assert stats.shed_total == 3
+            assert stats.per_tenant["t"]["shed"] == 3
+            assert stats.per_tenant["t"]["completed"] == 2
+            assert stats.errors.get("OVERLOADED", 0) == 0  # sheds are replies, not errors
+        finally:
+            backend.release()
+            gateway.close()
+
+    def test_per_connection_inflight_cap_sheds(self, database, queries):
+        backend = GatedClassifier(database)
+        gateway = RecognitionGateway(
+            [backend], max_inflight_per_connection=1, max_queue_depth=100
+        ).start()
+        try:
+            backend.hold()
+
+            async def load():
+                client = await AsyncGatewayClient.connect(*gateway.address)
+                try:
+                    first = asyncio.ensure_future(client.classify_batch([queries[0]]))
+                    await asyncio.sleep(0.05)  # let it be admitted
+                    with pytest.raises(GatewayOverloadedError, match="in flight"):
+                        await client.classify_batch([queries[1]])
+                    backend.release()
+                    return await first
+                finally:
+                    await client.aclose()
+
+            assert run_async(load()) == database.classify_batch(queries[:1])
+            assert gateway.stats.shed.get("inflight", 0) == 1
+        finally:
+            backend.release()
+            gateway.close()
+
+    def test_gateway_classifier_retries_after_shedding(self, database, queries):
+        backend = GatedClassifier(database)
+        gateway = RecognitionGateway(
+            [backend], max_inflight_per_connection=1, max_queue_depth=1,
+            max_dispatch_concurrency=1,
+        ).start()
+        import threading
+
+        try:
+            backend.hold()
+            occupants = [
+                GatewayClassifier(*gateway.address, tenant=f"occupant{i}", retries=0)
+                for i in range(2)
+            ]
+            prober = GatewayClassifier(
+                *gateway.address, tenant="prober", retries=100, retry_backoff_s=0.01
+            )
+            deadline = time.monotonic() + 10.0
+            # Occupant 0: dispatched, stuck on the gate.
+            t0 = threading.Thread(target=lambda: occupants[0].classify_batch(queries[:1]))
+            t0.start()
+            while gateway.stats.replicas[0]["dispatched"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            # Occupant 1: admitted, fills the one-slot queue.
+            t1 = threading.Thread(target=lambda: occupants[1].classify_batch(queries[:1]))
+            t1.start()
+            while gateway.stats.queue_depth < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            release_timer = threading.Timer(0.3, backend.release)
+            release_timer.start()
+            # The prober gets shed while the gateway is saturated,
+            # retries with backoff, and succeeds once the gate opens.
+            got = prober.classify_batch(queries[:2])
+            assert got == database.classify_batch(queries[:2])
+            t0.join(timeout=10.0)
+            t1.join(timeout=10.0)
+            release_timer.cancel()
+            assert prober.stats.detail["retried"] >= 1
+            assert gateway.stats.per_tenant["prober"]["shed"] >= 1
+            for client in occupants + [prober]:
+                client.close()
+        finally:
+            backend.release()
+            gateway.close()
+
+
+class TestDisconnectIsolation:
+    def test_disconnect_mid_request_fails_only_that_client(self, database, queries):
+        backend = GatedClassifier(database)
+        gateway = RecognitionGateway(
+            [backend], max_dispatch_concurrency=1, max_queue_depth=100,
+            max_inflight_per_connection=100,
+        ).start()
+        try:
+            backend.hold()
+
+            async def scenario():
+                doomed = await AsyncGatewayClient.connect(*gateway.address, tenant="doomed")
+                survivor = await AsyncGatewayClient.connect(
+                    *gateway.address, tenant="survivor"
+                )
+                try:
+                    # Doomed: one request dispatched (stuck on the gate)
+                    # plus one still queued; survivor: one queued.
+                    d1 = asyncio.ensure_future(doomed.classify_batch([queries[0]]))
+                    d2 = asyncio.ensure_future(doomed.classify_batch([queries[1]]))
+                    s1 = asyncio.ensure_future(survivor.classify_batch([queries[2]]))
+                    while gateway.stats.requests.get("classify", 0) < 3:
+                        await asyncio.sleep(0.01)
+                    await doomed.aclose()  # mid-request disconnect
+                    d_outcomes = await asyncio.gather(d1, d2, return_exceptions=True)
+                    backend.release()
+                    survivor_result = await s1
+                    return d_outcomes, survivor_result
+                finally:
+                    await survivor.aclose()
+
+            d_outcomes, survivor_result = run_async(scenario())
+            # The doomed client's futures die with its connection...
+            assert all(isinstance(o, BaseException) for o in d_outcomes)
+            # ...while the survivor's request completes with full parity.
+            assert survivor_result == database.classify_batch([queries[2]])
+            # The doomed client's queued (undispatched) request was
+            # drained, and the survivor's completion was counted.
+            deadline = time.monotonic() + 10.0
+            while (
+                gateway.stats.cancelled_disconnect < 1
+                or gateway.stats.per_tenant["survivor"]["completed"] < 1
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        finally:
+            backend.release()
+            gateway.close()
+
+
+class TestTenantFairness:
+    def test_ten_to_one_skew_cannot_starve_the_quiet_tenant(self, database, queries):
+        backend = GatedClassifier(database)
+        gateway = RecognitionGateway(
+            [backend],
+            max_dispatch_concurrency=1,
+            max_queue_depth=100,
+            max_inflight_per_connection=100,
+            record_dispatch=True,
+        ).start()
+        try:
+            backend.hold()
+
+            async def load():
+                chatty = await AsyncGatewayClient.connect(*gateway.address, tenant="chatty")
+                quiet = await AsyncGatewayClient.connect(*gateway.address, tenant="quiet")
+                try:
+                    heavy = [
+                        asyncio.ensure_future(chatty.classify_batch([queries[i % 6]]))
+                        for i in range(20)
+                    ]
+                    while gateway.stats.requests.get("classify", 0) < 20:
+                        await asyncio.sleep(0.01)
+                    light = [
+                        asyncio.ensure_future(quiet.classify_batch([queries[i]]))
+                        for i in range(2)
+                    ]
+                    while gateway.stats.requests.get("classify", 0) < 22:
+                        await asyncio.sleep(0.01)
+                    backend.release()
+                    await asyncio.gather(*heavy, *light)
+                finally:
+                    await chatty.aclose()
+                    await quiet.aclose()
+
+            run_async(load())
+            log = gateway.dispatch_log
+            assert log.count("chatty") == 20
+            assert log.count("quiet") == 2
+            # Despite 20 chatty requests queued ahead of them, both quiet
+            # requests dispatch within the first handful of slots —
+            # weighted round-robin interleaves the tenants.
+            quiet_positions = [i for i, t in enumerate(log) if t == "quiet"]
+            assert quiet_positions[0] <= 4
+            assert quiet_positions[1] <= 6
+        finally:
+            backend.release()
+            gateway.close()
+
+
+class TestReplication:
+    def test_round_robin_spreads_over_replicas(self, database, queries):
+        replicas = [InProcessClassifier(database) for _ in range(2)]
+        with RecognitionGateway(replicas, own_backends=True) as gateway:
+            with GatewayClient(*gateway.address) as client:
+                expected = database.classify_batch(queries[:2])
+                for _ in range(6):
+                    assert client.classify_batch(queries[:2]) == expected
+            stats = gateway.stats
+            assert all(r["alive"] for r in stats.replicas)
+            assert all(r["dispatched"] >= 2 for r in stats.replicas)
+
+    def test_failover_retires_dead_replica_and_keeps_parity(self, database, queries):
+        failing = FailingClassifier()
+        healthy = InProcessClassifier(database)
+        with RecognitionGateway([failing, healthy]) as gateway:
+            with GatewayClient(*gateway.address) as client:
+                expected = database.classify_batch(queries[:3])
+                for _ in range(4):
+                    assert client.classify_batch(queries[:3]) == expected
+            stats = gateway.stats
+        assert stats.failovers == 1
+        assert failing.calls == 1  # retired after its first fault
+        dead, alive = stats.replicas
+        assert not dead["alive"] and dead["failed"] == 1
+        assert alive["alive"] and alive["dispatched"] >= 4
+
+    def test_all_replicas_dead_is_backend_failure(self, database, queries):
+        with RecognitionGateway([FailingClassifier(), FailingClassifier()]) as gateway:
+            with GatewayClient(*gateway.address) as client:
+                with pytest.raises(GatewayError, match="BACKEND_FAILURE.*replicas failed"):
+                    client.classify_batch(queries[:1])
+                # The failure is sticky and still explicit.
+                with pytest.raises(GatewayError, match="BACKEND_FAILURE"):
+                    client.classify_batch(queries[:1])
+            assert gateway.stats.failovers == 2
+            assert gateway.stats.errors.get("BACKEND_FAILURE", 0) == 2
+
+    def test_service_backed_replica_tags_tenants(self, database, queries):
+        with RecognitionService(database, workers=0) as service:
+            backend = ServiceClassifier(service)
+            with RecognitionGateway([backend]) as gateway:
+                with GatewayClient(*gateway.address, tenant="fleet-a") as client:
+                    expected = database.classify_batch(queries)
+                    assert client.classify_batch(queries) == expected
+                stats = service.stats
+                assert stats.by_tag.get("fleet-a", 0) == len(queries)
+
+
+class TestDynamicWindow:
+    def test_window_decodes_like_local_decoder(self):
+        recognizer = DynamicSignRecognizer()
+        recognizer.enroll(WAVE_OFF)
+        recognizer.enroll(MOVE_UPWARD)
+        cycle = WAVE_OFF.expected_label_cycle()
+        labels = list(cycle) * 3
+        series = [recognizer.database.entry(label).series for label in labels]
+        times = [0.25 * index for index in range(len(series))]
+        decoder = recognizer.decoder()
+        decoder.extend(
+            DynamicObservation(time_s=t, label=label)
+            for t, label in zip(times, labels)
+        )
+        expected = decoder.result()
+        assert expected.sign_name == WAVE_OFF.name  # the fixture is decodable
+        with RecognitionGateway(
+            [InProcessClassifier(recognizer.database)],
+            own_backends=True,
+            decoder_factory=recognizer.decoder,
+        ) as gateway:
+            with GatewayClient(*gateway.address) as client:
+                got = client.recognize_window(series, times)
+        assert got.sign_name == expected.sign_name
+        assert got.cycles_seen == expected.cycles_seen
+        assert got.observations == expected.observations
+
+    def test_window_without_decoder_is_unsupported(self, gateway, queries):
+        with GatewayClient(*gateway.address) as client:
+            with pytest.raises(GatewayError, match="UNSUPPORTED"):
+                client.recognize_window(queries[:2], [0.0, 0.1])
+
+    def test_window_requires_matching_times(self, database):
+        recognizer = DynamicSignRecognizer()
+        recognizer.enroll(WAVE_OFF)
+        with RecognitionGateway(
+            [InProcessClassifier(recognizer.database)],
+            own_backends=True,
+            decoder_factory=recognizer.decoder,
+        ) as gateway:
+            with GatewayClient(*gateway.address) as client:
+                series = [recognizer.database.entry(label).series
+                          for label in WAVE_OFF.expected_label_cycle()]
+                with pytest.raises(ValueError, match="one time per series"):
+                    client.recognize_window(series, [0.0])
+                with pytest.raises(GatewayError, match="BAD_REQUEST.*times"):
+                    client._request(
+                        {"op": "window",
+                         "count": len(series), "length": len(series[0]),
+                         "times": [0.0]},
+                        np.asarray(series, dtype="<f8").tobytes(),
+                    )
+
+
+class TestLifecycle:
+    def test_constructor_validation(self, database):
+        with pytest.raises(ValueError, match="at least one backend"):
+            RecognitionGateway([])
+        with pytest.raises(ValueError, match="max_inflight"):
+            RecognitionGateway([InProcessClassifier(database)],
+                               max_inflight_per_connection=0)
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            RecognitionGateway([InProcessClassifier(database)], max_queue_depth=0)
+
+    def test_address_before_start_raises(self, database):
+        gateway = RecognitionGateway([InProcessClassifier(database)])
+        with pytest.raises(RuntimeError, match="not running"):
+            gateway.address
+
+    def test_double_start_raises(self, database):
+        with RecognitionGateway(
+            [InProcessClassifier(database)], own_backends=True
+        ) as gateway:
+            with pytest.raises(RuntimeError, match="already started"):
+                gateway.start()
+
+    def test_close_is_idempotent_and_closes_owned_backends(self, database):
+        backend = InProcessClassifier(database)
+        gateway = RecognitionGateway([backend], own_backends=True).start()
+        assert gateway.running
+        gateway.close()
+        gateway.close()
+        assert not gateway.running
+        assert backend.closed
+
+    def test_stats_snapshot_is_json_ready(self, gateway, queries):
+        import json
+
+        with GatewayClient(*gateway.address) as client:
+            client.classify_batch(queries[:2])
+        # The completion counter lands on the loop thread just after the
+        # reply is written; give it a moment.
+        deadline = time.monotonic() + 10.0
+        while gateway.stats.completed < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        snapshot = gateway.stats.as_dict()
+        json.dumps(snapshot)
+        assert snapshot["completed"] == 1
+        assert snapshot["shed_total"] == 0

@@ -1,0 +1,91 @@
+"""WeightedFairQueue: exact weighted round-robin dispatch order."""
+
+import pytest
+
+from repro.gateway.scheduling import WeightedFairQueue
+
+
+def drain(queue):
+    order = []
+    while True:
+        popped = queue.pop()
+        if popped is None:
+            return order
+        order.append(popped)
+
+
+class TestFairness:
+    def test_equal_weights_alternate_under_skew(self):
+        """A 10:1 offered-load skew cannot starve the quiet tenant."""
+        queue = WeightedFairQueue()
+        for index in range(10):
+            queue.push("chatty", f"a{index}")
+        for index in range(2):
+            queue.push("quiet", f"b{index}")
+        order = [tenant for tenant, _ in drain(queue)]
+        # Both quiet items are served within the first four slots.
+        assert order[:4] == ["chatty", "quiet", "chatty", "quiet"]
+        assert order[4:] == ["chatty"] * 8
+
+    def test_weight_three_gets_three_slots_per_cycle(self):
+        queue = WeightedFairQueue(weights={"a": 3, "b": 1})
+        for index in range(9):
+            queue.push("a", index)
+        for index in range(3):
+            queue.push("b", index)
+        order = [tenant for tenant, _ in drain(queue)]
+        assert order == ["a", "a", "a", "b"] * 3
+
+    def test_fifo_within_tenant(self):
+        queue = WeightedFairQueue()
+        for index in range(5):
+            queue.push("a", index)
+        assert [item for _, item in drain(queue)] == [0, 1, 2, 3, 4]
+
+    def test_interleaved_push_pop(self):
+        queue = WeightedFairQueue()
+        queue.push("a", "a0")
+        assert queue.pop() == ("a", "a0")
+        queue.push("a", "a1")
+        queue.push("b", "b0")
+        first = queue.pop()
+        second = queue.pop()
+        assert {first, second} == {("a", "a1"), ("b", "b0")}
+        assert queue.pop() is None
+
+    def test_pop_empty_returns_none(self):
+        queue = WeightedFairQueue()
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+
+class TestHousekeeping:
+    def test_drain_where_removes_matching_items(self):
+        queue = WeightedFairQueue()
+        for index in range(4):
+            queue.push("a", ("conn1", index))
+        queue.push("b", ("conn2", 0))
+        removed = queue.drain_where(lambda item: item[0] == "conn1")
+        assert removed == 4
+        assert len(queue) == 1
+        assert queue.pop() == ("b", ("conn2", 0))
+
+    def test_depths_and_iter(self):
+        queue = WeightedFairQueue()
+        queue.push("a", 1)
+        queue.push("a", 2)
+        queue.push("b", 3)
+        assert queue.depths() == {"a": 2, "b": 1}
+        assert list(queue) == [1, 2, 3]
+        assert len(queue) == 3
+
+    def test_weight_lookup(self):
+        queue = WeightedFairQueue(weights={"gold": 4}, default_weight=2)
+        assert queue.weight("gold") == 4
+        assert queue.weight("anyone") == 2
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="default_weight"):
+            WeightedFairQueue(default_weight=0)
+        with pytest.raises(ValueError, match="tenant 'x'"):
+            WeightedFairQueue(weights={"x": 0})

@@ -1,0 +1,121 @@
+"""Wire codec: frame round-trips, hardening, and bit-exact verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.wire import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_results,
+    pack_series,
+    unpack_results,
+    unpack_series,
+)
+from repro.sax.database import MatchResult
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        header = {"op": "classify", "id": 7, "count": 2}
+        payload = b"\x00\x01\x02binary"
+        frame = encode_frame(header, payload)
+        (body_length,) = np.frombuffer(frame[:4], dtype=">u4")
+        assert body_length == len(frame) - 4
+        got_header, got_payload = decode_frame(frame[4:])
+        assert got_header == header
+        assert got_payload == payload
+
+    def test_round_trip_empty_payload(self):
+        frame = encode_frame({"op": "ping"})
+        header, payload = decode_frame(frame[4:])
+        assert header == {"op": "ping"}
+        assert payload == b""
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(FrameError, match="exceeds MAX_FRAME_BYTES"):
+            encode_frame({"op": "classify"}, b"x" * MAX_FRAME_BYTES)
+
+    def test_decode_short_body(self):
+        with pytest.raises(FrameError, match="too short"):
+            decode_frame(b"\x00\x01")
+
+    def test_decode_header_length_overruns_body(self):
+        body = b"\x00\x00\x00\xff{}"
+        with pytest.raises(FrameError, match="exceeds frame body"):
+            decode_frame(body)
+
+    def test_decode_invalid_json(self):
+        bad = b"not json!"
+        body = len(bad).to_bytes(4, "big") + bad
+        with pytest.raises(FrameError, match="not valid JSON"):
+            decode_frame(body)
+
+    def test_decode_non_object_header(self):
+        bad = b"[1,2,3]"
+        body = len(bad).to_bytes(4, "big") + bad
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_frame(body)
+
+
+class TestSeriesCodec:
+    def test_round_trip_bit_identical(self):
+        rng = np.random.default_rng(3)
+        series = [np.cumsum(rng.standard_normal(64)) for _ in range(5)]
+        header, payload = pack_series(series)
+        assert header == {"count": 5, "length": 64}
+        got = unpack_series(header, payload)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, np.asarray(series))
+        # Bit-exact, not approximately equal.
+        assert got.tobytes() == np.asarray(series, dtype="<f8").tobytes()
+
+    def test_unpacked_series_is_writable(self):
+        header, payload = pack_series([np.arange(8.0)])
+        got = unpack_series(header, payload)
+        got[0, 0] = -1.0  # frombuffer views are read-only; copies are not
+
+    def test_pack_rejects_ragged_or_scalar(self):
+        with pytest.raises(FrameError, match="ndim"):
+            pack_series(np.arange(8.0))
+
+    def test_unpack_requires_shape_fields(self):
+        _, payload = pack_series([np.arange(8.0)])
+        with pytest.raises(FrameError, match="count.*length"):
+            unpack_series({"count": 1}, payload)
+        with pytest.raises(FrameError, match="count.*length"):
+            unpack_series({"count": "x", "length": None}, payload)
+
+    def test_unpack_rejects_non_positive_shape(self):
+        with pytest.raises(FrameError, match="positive"):
+            unpack_series({"count": 0, "length": 8}, b"")
+
+    def test_unpack_rejects_payload_size_mismatch(self):
+        _, payload = pack_series([np.arange(8.0)])
+        with pytest.raises(FrameError, match="expected"):
+            unpack_series({"count": 2, "length": 8}, payload)
+
+
+class TestResultCodec:
+    def test_round_trip_exact(self):
+        results = [
+            MatchResult(label="sign_1", distance=0.123456789012345, runner_up_label="sign_2",
+                        runner_up_distance=0.9876543210987654),
+            MatchResult(label=None, distance=float("inf")),
+            MatchResult(label="sign_3", distance=0.0, runner_up_label=None),
+        ]
+        header, payload = pack_results(results)
+        got = unpack_results(header, payload)
+        assert got == results  # MatchResult is a frozen dataclass: exact equality
+
+    def test_empty_batch(self):
+        header, payload = pack_results([])
+        assert unpack_results(header, payload) == []
+
+    def test_unpack_rejects_inconsistent_count(self):
+        header, payload = pack_results([MatchResult(label="a", distance=1.0)])
+        with pytest.raises(FrameError, match="inconsistent"):
+            unpack_results({**header, "count": 2}, payload)
+        with pytest.raises(FrameError, match="needs"):
+            unpack_results({"count": 1}, payload)

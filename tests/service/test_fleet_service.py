@@ -12,7 +12,7 @@ from repro.mission.fleet import build_fleet, mission_transcript
 from repro.mission.orchard import OrchardConfig
 from repro.protocol.negotiation import NegotiationConfig
 from repro.protocol.recognizer import RecognizerPerception
-from repro.service import RecognitionService
+from repro.service import RecognitionService, ServiceClassifier
 
 SMALL_ORCHARD = OrchardConfig(
     rows=1,
@@ -45,7 +45,7 @@ def outcomes(report):
 
 class TestServiceBackedPerception:
     def test_recognize_batch_classifier_seam_parity(self, canonical_recognizer):
-        """recognize_batch(classifier=service.classify_batch) is bit-identical."""
+        """recognize_batch(classifier=ServiceClassifier(...)) is bit-identical."""
         recognizer = canonical_recognizer
         from repro.human.pose import pose_for_sign
         from repro.human.render import RenderSettings, render_frame
@@ -64,9 +64,19 @@ class TestServiceBackedPerception:
         expected = recognizer.recognize_batch(frames, elevation_deg=elevation)
         with RecognitionService(recognizer.database, workers=2) as service:
             got = recognizer.recognize_batch(
-                frames, elevation_deg=elevation, classifier=service.classify_batch
+                frames,
+                elevation_deg=elevation,
+                classifier=ServiceClassifier(service),
             )
+            # The legacy bare-callable seam still works, but warns.
+            with pytest.warns(DeprecationWarning, match="bare callable"):
+                legacy = recognizer.recognize_batch(
+                    frames, elevation_deg=elevation, classifier=service.classify_batch
+                )
         assert [(r.label, r.distance, r.margin) for r in got] == [
+            (r.label, r.distance, r.margin) for r in expected
+        ]
+        assert [(r.label, r.distance, r.margin) for r in legacy] == [
             (r.label, r.distance, r.margin) for r in expected
         ]
 
@@ -82,9 +92,18 @@ class TestServiceBackedPerception:
             canonical_recognizer.database, workers=2
         ) as service:
             backed = RecognizerPerception(
-                recognizer=canonical_recognizer, service=service
+                recognizer=canonical_recognizer,
+                classifier=ServiceClassifier(service),
             )
             assert backed.service is service
+            # The legacy service= keyword still wires the same backend,
+            # under a DeprecationWarning.
+            with pytest.warns(DeprecationWarning, match="service=.*deprecated"):
+                legacy = RecognizerPerception(
+                    recognizer=canonical_recognizer, service=service
+                )
+            assert legacy.service is service
+            assert isinstance(legacy.classifier, ServiceClassifier)
             positions = [
                 Vec3(human.position.x + 2.5, human.position.y, 4.0),
                 Vec3(human.position.x + 3.0, human.position.y + 0.5, 5.0),
@@ -134,6 +153,61 @@ class TestFleetScaleOut:
     def test_close_is_safe_without_service(self):
         fleet = build_fleet(1, config=SMALL_ORCHARD, negotiation_config=NEGOTIATION)
         fleet.close()  # no service: no-op
+
+
+class TestFleetBackendSelection:
+    """``build_fleet(backend=...)`` validation and gateway parity."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            build_fleet(1, backend="quantum")
+
+    def test_service_backend_needs_workers(self):
+        with pytest.raises(ValueError, match="workers >= 1"):
+            build_fleet(1, backend="service", workers=0)
+
+    def test_inprocess_backend_rejects_workers(self):
+        with pytest.raises(ValueError, match="shard workers"):
+            build_fleet(1, backend="inprocess", workers=2)
+
+    def test_gateway_backend_requires_recognizer_perception(self):
+        with pytest.raises(ValueError, match="recognizer"):
+            build_fleet(1, perception="oracle", backend="gateway")
+
+    def test_auto_backend_follows_workers(self):
+        fleet = build_fleet(1, config=SMALL_ORCHARD, negotiation_config=NEGOTIATION)
+        assert fleet.service is None and fleet.gateway is None
+        fleet.close()
+
+    def test_gateway_backend_outcome_and_transcript_parity(self):
+        base = build_fleet(
+            1, base_seed=11, config=SMALL_ORCHARD, negotiation_config=NEGOTIATION
+        )
+        base_report = base.run(1800.0)
+        gated = build_fleet(
+            1,
+            base_seed=11,
+            config=SMALL_ORCHARD,
+            negotiation_config=NEGOTIATION,
+            backend="gateway",
+        )
+        assert gated.gateway is not None
+        assert gated.gateway.running
+        gateway_report = gated.run(1800.0)
+        assert outcomes(gateway_report) == outcomes(base_report)
+        for base_mission, gw_mission in zip(base.missions, gated.missions):
+            assert mission_transcript(gw_mission.world) == mission_transcript(
+                base_mission.world
+            )
+        # run() closes the owned client and gateway; stats stay readable.
+        assert not gated.gateway.running
+        stats = gateway_report.gateway_stats
+        assert stats is not None
+        assert stats.completed > 0
+        assert stats.shed_total == 0
+        assert dict(stats.errors) == {}
+        assert "fleet" in stats.per_tenant
+        assert base_report.gateway_stats is None
 
 
 class TestServiceOnCanonicalDatabase:

@@ -16,6 +16,7 @@ from repro.sax.database import SignDatabase
 from repro.service import (
     RecognitionService,
     ServiceOverloadedError,
+    ServiceTimeoutError,
     ShardWorkerError,
 )
 
@@ -229,6 +230,44 @@ class TestBackpressure:
             futures = [service.submit(query) for query in queries]
             expected = database.classify_batch(queries)
             assert [future.result(timeout=10.0) for future in futures] == expected
+
+
+class TestTimeoutDisambiguation:
+    """The two waiting phases time out with *distinct* errors.
+
+    A queue-full timeout means the request was never accepted (safe to
+    retry elsewhere — the gateway sheds on it); a result-wait timeout
+    means the request was accepted but its verdict is late (retrying
+    would duplicate work).  Conflating them misleads the caller.
+    """
+
+    def test_queue_full_timeout_raises_overloaded(self, database, queries):
+        with RecognitionService(
+            database, workers=0, batch_size=4, max_pending=2
+        ) as service:
+            service.hold()
+            for query in queries[:2]:
+                service.submit(query)
+            with pytest.raises(ServiceOverloadedError, match="queue-full timeout"):
+                service.submit(queries[2], timeout_s=0.0)
+            assert service.stats.queue_depth == 2
+            service.release()
+
+    def test_result_wait_timeout_raises_timeout(self, database, queries):
+        with RecognitionService(
+            database, workers=0, batch_size=4, max_pending=8
+        ) as service:
+            # hold() blocks dispatch even against the forced flush, so
+            # the submission is *accepted* but its verdict never lands.
+            service.hold()
+            with pytest.raises(ServiceTimeoutError, match="result-wait timeout"):
+                service.classify_batch(queries[:1], timeout_s=0.3)
+            service.release()
+
+    def test_error_taxonomy_is_disjoint(self):
+        assert issubclass(ServiceTimeoutError, TimeoutError)
+        assert not issubclass(ServiceTimeoutError, ServiceOverloadedError)
+        assert not issubclass(ServiceOverloadedError, ServiceTimeoutError)
 
 
 class TestWorkerFailure:
