@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-service bench-longtail bench-gateway bench-smoke fuzz check
+.PHONY: test lint docs-check coverage bench-throughput bench-dynamic bench-fleet bench-service bench-longtail bench-gateway bench-smoke flight-smoke fuzz check
 
 # Everything the ruff gate covers — named explicitly so benchmarks/ and
 # scripts/ can never silently drop out of the lint surface.  Update when
@@ -97,6 +97,22 @@ bench-smoke:
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_service.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_longtail.py
 	BENCH_SMOKE=1 $(PYTHON) benchmarks/bench_gateway.py
+
+# Flight-recorder smoke: record a small fleet run, replay it (byte
+# compare), and self-diff the fresh recording against the original —
+# the record/replay/diff CLI pipeline end to end (see
+# docs/ARCHITECTURE.md "Flight recorder").  CI runs this in the
+# bench-smoke job; recordings land in FLIGHT_DIR.
+FLIGHT_DIR ?= flight-artifacts
+flight-smoke:
+	mkdir -p $(FLIGHT_DIR)
+	$(PYTHON) scripts/flight_record.py record --out $(FLIGHT_DIR)/smoke.jsonl \
+		--builder fleet --missions 2 --perception oracle --smoke
+	$(PYTHON) scripts/flight_record.py replay $(FLIGHT_DIR)/smoke.jsonl \
+		--out $(FLIGHT_DIR)/smoke-replay.jsonl
+	$(PYTHON) scripts/flight_diff.py $(FLIGHT_DIR)/smoke.jsonl \
+		$(FLIGHT_DIR)/smoke-replay.jsonl
+	$(PYTHON) scripts/flight_record.py tail $(FLIGHT_DIR)/smoke.jsonl
 
 # Seeded long-tail fuzz: randomized adversarial scenarios through the
 # full recognition + fleet stack, safety invariants asserted, failures

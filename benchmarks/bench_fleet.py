@@ -26,6 +26,11 @@ Three sections:
   pipeline graph (:mod:`repro.mission.pipeline`): one entry per
   dataflow node (``world`` … ``mission``), asserted present even in
   smoke mode so the bench-trend job can gate on stage coverage.
+* **recorder** — the same batched fleet re-run with a
+  :class:`~repro.recorder.FlightRecorder` attached: tick-loop overhead
+  of recording (gate: ≤ 10 % over the bare fleet), outcome parity with
+  the bare run (zero-intrusion at bench scale) and a full replay of the
+  recording asserted byte-identical (``transcripts_identical``).
 
 Set ``BENCH_SMOKE=1`` for a reduced fleet with the perf gate disabled
 (both parity checks stay on).
@@ -37,6 +42,7 @@ Run as a script to write the ``BENCH_fleet.json`` artifact::
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -44,12 +50,14 @@ from repro.mission.fleet import FleetScheduler, build_fleet
 from repro.mission.orchard import OrchardConfig
 from repro.mission.pipeline import FLEET_STAGES
 from repro.protocol.negotiation import NegotiationConfig
+from repro.recorder import FlightRecorder, make_recipe, replay
 from repro.simulation.scenarios import CALM, NOON
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 FLEET_SIZE = 2 if SMOKE else 16
 PARITY_FLEET_SIZE = 2 if SMOKE else 8
 FLEET_SPEEDUP_GATE = 3.0
+RECORDER_OVERHEAD_GATE = 0.10
 FLEET_TIMEOUT_S = 3600.0
 
 # Small dense orchards: every trap blocked by a worker, so each mission
@@ -152,6 +160,64 @@ def measure() -> dict:
         "RecognizerPerception must match OraclePerception exactly on clean scenarios"
     )
 
+    # -- flight-recorder overhead and replay fidelity ----------------------------
+    # Single-shot wall clocks on shared hosts swing by ~10% run to run
+    # — enough to drown the <=10% overhead gate in noise.  Interleave
+    # an extra bare run with two recorded runs and gate on the minimum
+    # of each side (minimum, not mean: background load only ever adds
+    # time).
+    with tempfile.TemporaryDirectory() as tmp:
+        def timed_run(recording_path):
+            recorder = None
+            if recording_path is not None:
+                recorder = FlightRecorder(str(recording_path))
+                recorder.write_header(
+                    make_recipe(
+                        "fleet",
+                        count=FLEET_SIZE,
+                        base_seed=100,
+                        config=ORCHARD,
+                        negotiation_config=NEGOTIATION,
+                    )
+                )
+            fleet = build_fleet(
+                FLEET_SIZE,
+                base_seed=100,
+                config=ORCHARD,
+                negotiation_config=NEGOTIATION,
+                recorder=recorder,
+            )
+            start = time.perf_counter()
+            report = fleet.run(FLEET_TIMEOUT_S)
+            return time.perf_counter() - start, report
+
+        recording = Path(tmp) / "fleet.jsonl"
+        recorded_1s, recorded_report = timed_run(recording)
+        bare_s, _ = timed_run(None)
+        recorded_2s, _ = timed_run(Path(tmp) / "fleet2.jsonl")
+        baseline_s = min(batch_s, bare_s)
+        recorded_s = min(recorded_1s, recorded_2s)
+        overhead = recorded_s / baseline_s - 1.0
+        assert mission_outcomes(recorded_report) == batch_outcomes, (
+            "recording a fleet run must not change its outcomes (zero-intrusion)"
+        )
+        replay_result = replay(str(recording))
+        assert replay_result.identical, (
+            f"replay must be byte-identical: {replay_result.describe()}"
+        )
+        recorder_section = {
+            "baseline_s": round(baseline_s, 3),
+            "recorded_s": round(recorded_s, 3),
+            "overhead_fraction": round(overhead, 4),
+            "overhead_gate": RECORDER_OVERHEAD_GATE,
+            "overhead_within_gate": overhead <= RECORDER_OVERHEAD_GATE,
+            "deterministic_events": replay_result.events,
+            "recording_bytes": recording.stat().st_size,
+            "outcome_parity": True,
+            "transcripts_identical": True,
+            "gate_enforced": not SMOKE,
+        }
+
     stats = batch_report.perception_stats
     budget = batch_report.perception_budget
     graph = batch_report.graph_stats.as_dict()
@@ -193,6 +259,7 @@ def measure() -> dict:
             },
         },
         "nodes": graph,
+        "recorder": recorder_section,
     }
 
 
@@ -215,8 +282,14 @@ def test_fleet_throughput_and_parity():
     assert all(
         entry["ticks"] > 0 for entry in stats["nodes"]["nodes"].values()
     ), "every pipeline node must have run"
+    assert stats["recorder"]["outcome_parity"]
+    assert stats["recorder"]["transcripts_identical"]
     if not SMOKE:
         assert stats["fleet_throughput"]["speedup"] >= FLEET_SPEEDUP_GATE
+        assert stats["recorder"]["overhead_within_gate"], (
+            f"flight recorder overhead {stats['recorder']['overhead_fraction']:.1%}"
+            f" exceeds {RECORDER_OVERHEAD_GATE:.0%}"
+        )
 
 
 if __name__ == "__main__":
@@ -243,8 +316,16 @@ if __name__ == "__main__":
     nodes = stats["nodes"]["nodes"]
     split = "  ".join(f"{name} {entry['busy_s']:.2f}s" for name, entry in nodes.items())
     print(f"  node stages: {split}")
+    r = stats["recorder"]
+    print(
+        f"  flight recorder: {r['recorded_s']:.1f} s recorded vs "
+        f"{r['baseline_s']:.1f} s bare ({r['overhead_fraction']:+.1%}, gate <= "
+        f"{RECORDER_OVERHEAD_GATE:.0%}), {r['deterministic_events']} events, "
+        f"replay identical: {r['transcripts_identical']}"
+    )
     print(f"  wrote {artifact.name}")
     if SMOKE:
         print("  smoke mode: perf gate disabled")
     else:
         assert t["speedup"] >= FLEET_SPEEDUP_GATE, "fleet throughput gate failed"
+        assert r["overhead_within_gate"], "flight recorder overhead gate failed"

@@ -37,6 +37,7 @@ DEFAULT_PACKAGES = (
     "repro.service",
     "repro.gateway",
     "repro.dataflow",
+    "repro.recorder",
     "repro.testing",
 )
 

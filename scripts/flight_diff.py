@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Diff two flight recordings event-by-event.
+
+Compares the deterministic streams of two recordings
+(:mod:`repro.recorder`) byte-for-byte and prints the first divergence
+with its node, tick and field context — a far sharper regression
+signal than aggregate benchmark JSON.  Ops events (service/gateway
+timing telemetry) are excluded from the comparison by design.
+
+Exit codes: ``0`` identical, ``1`` divergent, ``2`` unreadable input.
+
+Usage::
+
+    PYTHONPATH=src python scripts/flight_diff.py A.jsonl B.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.recorder import first_divergence, read_lines
+from repro.recorder.diffing import deterministic_only
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Diff two flight recordings; print the first divergence."
+    )
+    parser.add_argument("recording_a", help="baseline recording (.jsonl)")
+    parser.add_argument("recording_b", help="candidate recording (.jsonl)")
+    args = parser.parse_args(argv)
+    try:
+        lines_a = read_lines(args.recording_a)
+        lines_b = read_lines(args.recording_b)
+    except OSError as exc:
+        print(f"flight-diff: cannot read recording: {exc}", file=sys.stderr)
+        return 2
+    divergence = first_divergence(lines_a, lines_b)
+    if divergence is None:
+        events = len(deterministic_only(lines_a))
+        print(f"flight-diff: recordings identical ({events} deterministic events)")
+        return 0
+    print(f"flight-diff: {divergence.describe()}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,6 +198,13 @@ class Channel:
     # -- observability -----------------------------------------------------------------
 
     @property
+    def flow(self) -> tuple[int, int, int, int]:
+        """``(puts, gets, drops, refusals)`` without building a
+        :class:`ChannelStats` — the cheap per-tick read the flight
+        recorder's tap uses."""
+        return (self._puts, self._gets, self._drops, self._refusals)
+
+    @property
     def stats(self) -> ChannelStats:
         """Snapshot the flow counters."""
         return ChannelStats(

@@ -138,7 +138,7 @@ class Graph:
     quiescent).  Use as a context manager to guarantee :meth:`close`.
     """
 
-    def __init__(self, name: str = "graph") -> None:
+    def __init__(self, name: str = "graph", tap=None) -> None:
         self.name = name
         self._nodes: dict[str, Node] = {}
         self._edges: list[_Edge] = []
@@ -146,6 +146,11 @@ class Graph:
         self._ticks = 0
         self._closed = False
         self._failed: NodeFailure | None = None
+        # Observability hook: called as tap(tick, node, inputs, outputs,
+        # items_in, items_out) after each node processes.  Must be a pure
+        # reader (the flight recorder's zero-intrusion contract) and must
+        # not raise — an exception here fails the tick like a node would.
+        self._tap = tap
 
     # -- construction ------------------------------------------------------------------
 
@@ -312,6 +317,8 @@ class Graph:
                     if edge.src is node and edge.src_port == port_name:
                         edge.emit(items)
             node.metrics.record(items_in, items_out, elapsed)
+            if self._tap is not None:
+                self._tap(self._ticks, node, inputs, outputs, items_in, items_out)
             moved += items_in
         self._ticks += 1
         return moved
@@ -368,6 +375,12 @@ class Graph:
         self.close()
 
     # -- observability -----------------------------------------------------------------
+
+    @property
+    def channels(self) -> tuple:
+        """The wired channels, in connection order (live objects — for
+        cheap counter reads; use :meth:`stats` for snapshots)."""
+        return tuple(edge.channel for edge in self._edges)
 
     def stats(self) -> GraphStats:
         """Per-node latency and per-channel occupancy counters."""

@@ -187,6 +187,11 @@ class RecognitionGateway:
     record_dispatch:
         Keep the tenant dispatch order in :attr:`dispatch_log` (test
         instrumentation for the fairness contract).
+    observer:
+        Optional ``observer(event, data)`` callback invoked on the loop
+        thread for ``request`` completions, ``shed`` decisions and
+        ``failover`` events — the flight recorder's ops tap.  Errors it
+        raises are swallowed.
     """
 
     def __init__(
@@ -202,6 +207,7 @@ class RecognitionGateway:
         decoder_factory: Callable | None = None,
         own_backends: bool = False,
         record_dispatch: bool = False,
+        observer=None,
     ) -> None:
         if not backends:
             raise ValueError("gateway needs at least one backend replica")
@@ -222,6 +228,10 @@ class RecognitionGateway:
         self.decoder_factory = decoder_factory
         self.own_backends = own_backends
         self.record_dispatch = record_dispatch
+        # observer(event, data) ops tap (the flight recorder): called on
+        # the loop thread for completions, sheds and failovers; errors
+        # it raises are swallowed (observability must not fail serving).
+        self._observer = observer
         self.dispatch_log: list[str] = []
         self._queue = WeightedFairQueue(tenant_weights, default_weight)
         self._rr = 0
@@ -487,6 +497,7 @@ class RecognitionGateway:
         if connection.inflight >= self.max_inflight_per_connection:
             self._shed["inflight"] = self._shed.get("inflight", 0) + 1
             counters["shed"] += 1
+            self._notify("shed", {"reason": "inflight", "tenant": tenant})
             await self._send(
                 connection,
                 {
@@ -507,6 +518,7 @@ class RecognitionGateway:
         if len(self._queue) >= self.max_queue_depth:
             self._shed["queue"] = self._shed.get("queue", 0) + 1
             counters["shed"] += 1
+            self._notify("shed", {"reason": "queue", "tenant": tenant})
             await self._send(
                 connection,
                 {
@@ -557,6 +569,15 @@ class RecognitionGateway:
             self._process_tasks.add(task)
             task.add_done_callback(self._process_tasks.discard)
 
+    def _notify(self, event: str, data: dict) -> None:
+        """Report *event* to the observer; observer errors are swallowed."""
+        if self._observer is None:
+            return
+        try:
+            self._observer(event, data)
+        except Exception:  # noqa: BLE001 — observability must not fail serving
+            pass
+
     async def _process(
         self, tenant: str, request: _PendingRequest, semaphore: asyncio.Semaphore
     ) -> None:
@@ -583,6 +604,10 @@ class RecognitionGateway:
                 await self._send(connection, verdict)
             self._completed += 1
             self._tenant_counters(tenant)["completed"] += 1
+            self._notify(
+                "request",
+                {"tenant": tenant, "op": request.op, "frames": len(request.queries)},
+            )
         except asyncio.CancelledError:  # gateway shutting down
             raise
         finally:
@@ -646,6 +671,7 @@ class RecognitionGateway:
                 replica.alive = False
                 replica.failed += 1
                 self._failovers += 1
+                self._notify("failover", {"replica": replica.index})
                 last_error = exc
         detail = "".join(
             traceback.format_exception_only(type(last_error), last_error)

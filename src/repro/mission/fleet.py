@@ -123,6 +123,7 @@ class FleetReport:
     gateway_stats: GatewayStats | None = None
     graph_stats: GraphStats | None = None
     escalation_events: tuple = ()
+    recording_path: str | None = None
 
     @property
     def missions(self) -> int:
@@ -187,6 +188,13 @@ class FleetScheduler:
         Extra resources this scheduler owns (classifier clients, the
         gateway): each is ``close()``\\ d (or ``stop()``\\ ped) by
         :meth:`close`, in order, after the graph and service.
+    recorder:
+        Optional :class:`~repro.recorder.FlightRecorder`: the scheduler
+        attaches a read-only :class:`~repro.recorder.taps.FleetRecorderTap`
+        to the pipeline graph and world logs, records every tick's
+        events, and finalizes the recording on :meth:`close`.  The
+        zero-intrusion contract guarantees the run itself is
+        byte-identical with or without it.
 
     The scheduler is a context manager: ``with`` guarantees
     :meth:`close` (graph and owned resources released) even when a
@@ -200,6 +208,7 @@ class FleetScheduler:
         service: RecognitionService | None = None,
         gateway: RecognitionGateway | None = None,
         owned: Sequence = (),
+        recorder=None,
     ) -> None:
         if not missions:
             raise ValueError("a fleet needs at least one mission")
@@ -214,9 +223,18 @@ class FleetScheduler:
         self.service = service
         self.gateway = gateway
         self.owned = tuple(owned)
+        self.recorder = recorder
         self.time_step_s = steps.pop()
+        self._tap = None
+        if recorder is not None:
+            # Imported lazily: repro.recorder.replay imports this module.
+            from repro.recorder.taps import FleetRecorderTap
+
+            self._tap = FleetRecorderTap(recorder, self.missions)
         self._graph = build_fleet_graph(
-            self.missions, batch_perception=batch_perception
+            self.missions,
+            batch_perception=batch_perception,
+            tap=self._tap.graph_tap if self._tap is not None else None,
         )
         self._ticks = 0
         self._started = False
@@ -263,6 +281,8 @@ class FleetScheduler:
         self._started = True
         for mission in self.missions:
             mission.executor.start(mission.world)
+        if self._tap is not None:
+            self._tap.record_start(self)
 
     def tick(self) -> int:
         """Advance the whole fleet by one shared-clock step.
@@ -285,6 +305,8 @@ class FleetScheduler:
         except BaseException:
             self.close()
             raise
+        if self._tap is not None:
+            self._tap.on_tick(self._ticks, self._graph)
         self._ticks += 1
         return len(self.active_missions)
 
@@ -332,12 +354,18 @@ class FleetScheduler:
                 if self.service is not None:
                     self.service.stop()
             finally:
-                for resource in self.owned:
-                    release = getattr(resource, "close", None) or getattr(
-                        resource, "stop", None
-                    )
-                    if release is not None:
-                        release()
+                try:
+                    for resource in self.owned:
+                        release = getattr(resource, "close", None) or getattr(
+                            resource, "stop", None
+                        )
+                        if release is not None:
+                            release()
+                finally:
+                    # Sealed last, so straggling ops events from the
+                    # service/gateway teardown still land in the file.
+                    if self.recorder is not None:
+                        self.recorder.finalize()
 
     def __enter__(self) -> "FleetScheduler":
         """Context-manager entry: returns the scheduler."""
@@ -369,7 +397,7 @@ class FleetScheduler:
             if events:
                 escalations.extend(events)
         escalations.sort(key=lambda e: e.time_s)
-        return FleetReport(
+        report = FleetReport(
             escalation_events=tuple(escalations),
             reports={m.name: m.report for m in self.missions},
             ticks=self._ticks,
@@ -379,7 +407,11 @@ class FleetScheduler:
             service_stats=self.service.stats if self.service is not None else None,
             gateway_stats=self.gateway.stats if self.gateway is not None else None,
             graph_stats=self._graph.stats(),
+            recording_path=self.recorder.path if self.recorder is not None else None,
         )
+        if self._tap is not None:
+            self._tap.record_report(report)
+        return report
 
 
 def build_fleet(
@@ -395,6 +427,7 @@ def build_fleet(
     drone_home: Vec2 = DEFAULT_DRONE_HOME,
     workers: int = 0,
     backend: str = "auto",
+    recorder=None,
 ) -> FleetScheduler:
     """Build a ready-to-run fleet of *count* distinct missions.
 
@@ -442,6 +475,10 @@ def build_fleet(
 
         Mission outcomes are identical across backends by the
         sharding- and gateway-parity contracts.
+    recorder:
+        Optional :class:`~repro.recorder.FlightRecorder` handed to the
+        scheduler; service and gateway backends additionally report
+        their batch flushes / admissions to it as ops events.
     """
     if count < 1:
         raise ValueError("fleet needs at least one mission")
@@ -458,6 +495,13 @@ def build_fleet(
     if backend != "inprocess" and perception != "recognizer":
         raise ValueError(f"backend={backend!r} requires the recognizer perception")
     cfg = config if config is not None else OrchardConfig()
+    service_obs = gateway_obs = None
+    if recorder is not None:
+        # Imported lazily: repro.recorder.replay imports this module.
+        from repro.recorder.taps import gateway_observer, service_observer
+
+        service_obs = service_observer(recorder)
+        gateway_obs = gateway_observer(recorder)
     shared: RecognizerPerception | None = None
     service: RecognitionService | None = None
     gateway: RecognitionGateway | None = None
@@ -467,7 +511,7 @@ def build_fleet(
             recognizer = SaxSignRecognizer()
             recognizer.enroll_canonical_views()
             service = RecognitionService(
-                recognizer.database, workers=workers
+                recognizer.database, workers=workers, observer=service_obs
             ).start()
             shared = RecognizerPerception(
                 recognizer=recognizer,
@@ -480,12 +524,14 @@ def build_fleet(
             recognizer.enroll_canonical_views()
             if workers:
                 replica = ServiceClassifier(
-                    RecognitionService(recognizer.database, workers=workers).start(),
+                    RecognitionService(
+                        recognizer.database, workers=workers, observer=service_obs
+                    ).start(),
                     owns_service=True,
                 )
             else:
                 replica = InProcessClassifier(recognizer.database)
-            gateway = RecognitionGateway([replica], own_backends=True)
+            gateway = RecognitionGateway([replica], own_backends=True, observer=gateway_obs)
             try:
                 gateway.start()
                 host, port = gateway.address
@@ -556,6 +602,7 @@ def build_fleet(
             service=service,
             gateway=gateway,
             owned=owned,
+            recorder=recorder,
         )
     except BaseException:
         # Backend resources (worker processes, the gateway thread) were

@@ -281,6 +281,7 @@ def build_fleet_graph(
     missions: Sequence["FleetMission"],
     batch_perception: bool = True,
     channel_capacity: int = 2,
+    tap=None,
 ) -> Graph:
     """Wire the seven-stage fleet pipeline over *missions*.
 
@@ -288,8 +289,11 @@ def build_fleet_graph(
     nodes are named after :data:`FLEET_STAGES` and whose channels all
     carry :class:`FleetTick` under backpressure (``BLOCK`` policy) —
     the graph :class:`~repro.mission.fleet.FleetScheduler` drives.
+    *tap* is the per-node observability hook forwarded to
+    :class:`~repro.dataflow.graph.Graph` (the flight recorder's
+    read-only attachment point).
     """
-    graph = Graph(name="fleet")
+    graph = Graph(name="fleet", tap=tap)
     nodes = [
         WorldStepNode(missions),
         PredictNode(batch_perception=batch_perception),

@@ -437,6 +437,7 @@ def build_surveillance_fleet(
     challenge_config: NegotiationConfig | None = None,
     batch_perception: bool = True,
     workers: int = 0,
+    recorder=None,
 ) -> FleetScheduler:
     """Build a ready-to-run fleet of *count* guard missions.
 
@@ -452,7 +453,10 @@ def build_surveillance_fleet(
     seconds, the bursty workload the benchmark measures.
 
     Everything derives from ``base_seed``, so the same arguments replay
-    the same patrols, challenges and escalations exactly.
+    the same patrols, challenges and escalations exactly.  An optional
+    *recorder* (:class:`~repro.recorder.FlightRecorder`) is attached to
+    the scheduler exactly as in :func:`~repro.mission.fleet.build_fleet`;
+    escalations are captured straight off each guard's event bus.
     """
     if count < 1:
         raise ValueError("fleet needs at least one mission")
@@ -474,10 +478,18 @@ def build_surveillance_fleet(
         )
     )
     service: RecognitionService | None = None
+    service_obs = None
+    if recorder is not None:
+        # Imported lazily: repro.recorder.replay imports this module.
+        from repro.recorder.taps import service_observer
+
+        service_obs = service_observer(recorder)
     if workers:
         recognizer = SaxSignRecognizer()
         recognizer.enroll_canonical_views()
-        service = RecognitionService(recognizer.database, workers=workers).start()
+        service = RecognitionService(
+            recognizer.database, workers=workers, observer=service_obs
+        ).start()
         shared = RecognizerPerception(
             recognizer=recognizer,
             classifier=ServiceClassifier(service, tag="surveillance"),
@@ -548,7 +560,10 @@ def build_surveillance_fleet(
                 )
             )
         return FleetScheduler(
-            missions, batch_perception=batch_perception, service=service
+            missions,
+            batch_perception=batch_perception,
+            service=service,
+            recorder=recorder,
         )
     except BaseException:
         if service is not None:

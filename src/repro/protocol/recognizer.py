@@ -644,6 +644,18 @@ class RecognizerPerception:
         service-backed)."""
         return self._core.match_preprocessed(misses, pres)
 
+    def peek(self, query: ObservationQuery) -> tuple[bool, MarshallingSign | None]:
+        """Read *query*'s cached verdict without disturbing the cache.
+
+        Unlike ``lookup`` this neither promotes the entry in the LRU
+        order nor bumps any counter — the flight recorder's
+        zero-intrusion read of what ``match`` just resolved.
+        """
+        cache = self._core.cache
+        if query in cache:
+            return True, cache[query]
+        return False, None
+
     # -- reporting ----------------------------------------------------------------------
 
     @property

@@ -1,0 +1,78 @@
+"""Flight recorder: deterministic record/replay for fleet runs.
+
+The golden-transcript tests prove fleet runs are deterministic; this
+package productises that guarantee as a *flight recorder* — an
+append-only, schema-versioned JSONL event log tapped off a running
+:class:`~repro.mission.fleet.FleetScheduler` without perturbing it:
+
+* :mod:`repro.recorder.events` — the record schema: canonical JSON
+  lines with every float hex-encoded (IEEE-754 bit-exact), split into a
+  *deterministic* stream (ticks, observations, verdicts, negotiation
+  transitions, escalations, the final report) and an *ops* stream
+  (service batch flushes, shard dispatches, gateway admissions — real
+  but timing-dependent);
+* :mod:`repro.recorder.recorder` — :class:`FlightRecorder`, the
+  thread-safe append-only writer with an integrity footer;
+* :mod:`repro.recorder.taps` — the read-only taps: a
+  :class:`~repro.dataflow.graph.Graph` node hook, world-log deltas,
+  perception-counter deltas, an
+  :class:`~repro.simulation.events.EventEmitter` subscription for
+  escalations, and observer callbacks for the recognition service and
+  gateway;
+* :mod:`repro.recorder.replay` — self-describing recordings: the
+  header carries the exact :func:`~repro.mission.fleet.build_fleet` /
+  :func:`~repro.mission.surveillance.build_surveillance_fleet` recipe,
+  so :func:`replay` can re-drive the run and prove the fresh recording
+  byte-identical;
+* :mod:`repro.recorder.diffing` — event-by-event diffing naming the
+  first divergent node, tick and field (``scripts/flight_diff.py``);
+* :mod:`repro.recorder.tail` — a live per-node fleet dashboard
+  rendered from the same stream.
+
+Two contracts are enforced by tier-1 tests and ``bench_fleet.py``:
+**zero intrusion** (recorder on vs off leaves every transcript,
+report counter and escalation stream byte-identical) and **replay
+fidelity** (replaying a recording reproduces its deterministic event
+stream byte-for-byte).
+"""
+
+from repro.recorder.diffing import Divergence, first_divergence
+from repro.recorder.events import (
+    DETERMINISTIC_KINDS,
+    OPS_KINDS,
+    SCHEMA_VERSION,
+    decode_value,
+    encode_value,
+)
+from repro.recorder.recorder import FlightRecorder, load_events, read_lines
+from repro.recorder.replay import (
+    ReplayResult,
+    make_recipe,
+    recipe_of,
+    record_fleet_run,
+    record_surveillance_run,
+    replay,
+    run_recipe,
+)
+from repro.recorder.tail import render_dashboard
+
+__all__ = [
+    "DETERMINISTIC_KINDS",
+    "Divergence",
+    "FlightRecorder",
+    "OPS_KINDS",
+    "ReplayResult",
+    "SCHEMA_VERSION",
+    "decode_value",
+    "encode_value",
+    "first_divergence",
+    "load_events",
+    "make_recipe",
+    "read_lines",
+    "recipe_of",
+    "record_fleet_run",
+    "record_surveillance_run",
+    "render_dashboard",
+    "replay",
+    "run_recipe",
+]

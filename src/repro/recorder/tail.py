@@ -1,0 +1,160 @@
+"""Live fleet dashboard rendered from a flight-recording stream.
+
+``flight_record.py --tail`` (and the ``--follow`` mode) render a
+per-node, per-mission view of a recording as it is written — the
+flight recorder doubles as the fleet's cockpit display.  The renderer
+is a pure function over decoded records
+(:func:`~repro.recorder.recorder.load_events`), so the same code path
+serves one-shot summaries of finished recordings and polling a file
+another process is still appending to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.recorder.recorder import load_events
+
+__all__ = ["main", "render_dashboard"]
+
+# Preferred display order for the fleet pipeline's stages; anything
+# else (custom graphs) is appended alphabetically.
+_STAGE_ORDER = ("world", "predict", "lookup", "render", "preprocess", "match", "mission")
+
+
+def _fmt_row(columns: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(col).ljust(width) for col, width in zip(columns, widths)).rstrip()
+
+
+def render_dashboard(events: Sequence[dict]) -> str:
+    """Render decoded flight records as a text dashboard.
+
+    Shows the recipe, tick progress, cumulative per-node throughput,
+    verdict-label counts, per-mission latest event and escalation
+    totals — whatever the stream contains so far.
+    """
+    recipe: dict | None = None
+    missions: list[str] = []
+    last_tick = -1
+    tick_events = 0
+    node_totals: dict[str, list[int]] = {}
+    verdicts: dict[str, int] = {}
+    observations = 0
+    escalations: dict[str, int] = {}
+    last_event: dict[str, str] = {}
+    report: dict | None = None
+    ended = False
+    for record in events:
+        kind = record.get("kind")
+        data = record.get("data", {})
+        tick = record.get("tick", -1)
+        if isinstance(tick, int):
+            last_tick = max(last_tick, tick)
+        if kind == "header":
+            recipe = data.get("recipe")
+        elif kind == "start":
+            missions = [entry["name"] for entry in data.get("missions", [])]
+        elif kind == "tick":
+            tick_events += 1
+            for name, (items_in, items_out) in data.get("nodes", {}).items():
+                totals = node_totals.setdefault(name, [0, 0])
+                totals[0] += items_in
+                totals[1] += items_out
+        elif kind == "observation":
+            observations += 1
+        elif kind == "verdict":
+            label = data.get("label")
+            verdicts[str(label)] = verdicts.get(str(label), 0) + 1
+        elif kind == "escalation":
+            mission = str(record.get("node", ""))
+            escalations[mission] = escalations.get(mission, 0) + 1
+        elif kind in ("world", "negotiation", "bus"):
+            mission = str(record.get("node", ""))
+            last_event[mission] = f"{data.get('kind', '?')} @ t={data.get('t', 0.0):.2f}"
+        elif kind == "report":
+            report = data
+        elif kind == "end":
+            ended = True
+    lines = []
+    if recipe is not None:
+        kwargs = recipe.get("kwargs", {})
+        lines.append(
+            f"flight: {recipe.get('builder', '?')}"
+            f" x{kwargs.get('count', '?')} (seed {kwargs.get('base_seed', 0)})"
+        )
+    status = "ended" if ended else "recording"
+    lines.append(
+        f"tick {max(last_tick, 0)} · {tick_events} eventful ticks ·"
+        f" {observations} observations · {status}"
+    )
+    if node_totals:
+        widths = (10, 9, 9)
+        lines.append("")
+        lines.append(_fmt_row(("node", "items_in", "items_out"), widths))
+        ordered = [name for name in _STAGE_ORDER if name in node_totals]
+        ordered += sorted(set(node_totals) - set(_STAGE_ORDER))
+        for name in ordered:
+            items_in, items_out = node_totals[name]
+            lines.append(_fmt_row((name, items_in, items_out), widths))
+    if verdicts:
+        rendered = ", ".join(
+            f"{label}={count}" for label, count in sorted(verdicts.items())
+        )
+        lines.append("")
+        lines.append(f"verdicts: {rendered}")
+    if missions:
+        lines.append("")
+        widths = (12, 12, 44)
+        lines.append(_fmt_row(("mission", "escalations", "last event"), widths))
+        for name in missions:
+            lines.append(
+                _fmt_row(
+                    (name, escalations.get(name, 0), last_event.get(name, "-")),
+                    widths,
+                )
+            )
+    if report is not None:
+        lines.append("")
+        lines.append(
+            f"report: {report.get('ticks')} ticks,"
+            f" {report.get('sim_duration_s', 0.0):.1f} s simulated,"
+            f" {report.get('escalations', 0)} escalations"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: render (or follow) a recording as a dashboard."""
+    parser = argparse.ArgumentParser(
+        description="Render a flight recording as a per-node fleet dashboard."
+    )
+    parser.add_argument("recording", help="path to a .jsonl flight recording")
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll the file and re-render until its end record appears",
+    )
+    parser.add_argument(
+        "--interval-s",
+        type=float,
+        default=0.5,
+        help="poll interval for --follow (default: 0.5)",
+    )
+    args = parser.parse_args(argv)
+    while True:
+        events = load_events(args.recording)
+        dashboard = render_dashboard(events)
+        sys.stdout.write(dashboard)
+        sys.stdout.flush()
+        ended = any(record.get("kind") == "end" for record in events)
+        if not args.follow or ended:
+            return 0
+        time.sleep(args.interval_s)
+        sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,12 @@ class RecognitionService:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (workers inherit nothing mutable — the shard payload
         is explicit) and ``spawn`` elsewhere.
+    observer:
+        Optional ``observer(event, data)`` callback invoked from the
+        dispatcher thread on ``batch_flush`` (reason + size) and
+        ``shard_dispatch`` (fan-out shape) — the flight recorder's ops
+        tap.  Exceptions it raises are swallowed: observability must
+        never affect service behaviour.
 
     The worker pool snapshots the database at :meth:`start`; mutating
     the database afterwards (``add``/``remove``) is detected via its
@@ -215,6 +221,7 @@ class RecognitionService:
         max_pending: int = 1024,
         worker_timeout_s: float = 60.0,
         start_method: str | None = None,
+        observer=None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -235,6 +242,7 @@ class RecognitionService:
         self.flush_interval_s = flush_interval_s
         self.max_pending = max_pending
         self.worker_timeout_s = worker_timeout_s
+        self._observer = observer
         self._db_version = database.version
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -613,6 +621,9 @@ class RecognitionService:
                 self._flushes[reason] = self._flushes.get(reason, 0) + 1
                 self._batch_fill[len(batch)] = self._batch_fill.get(len(batch), 0) + 1
                 self._batches += 1
+            # Outside the lock: the observer must never hold up (or
+            # deadlock against) submitters waiting on the condition.
+            self._notify("batch_flush", {"reason": reason, "size": len(batch)})
             try:
                 self._resolve(batch)
             except Exception as failure:  # noqa: BLE001 — anything kills the pool
@@ -623,6 +634,15 @@ class RecognitionService:
                     )
                 self._fail(failure, batch)
                 return
+
+    def _notify(self, event: str, data: dict) -> None:
+        """Report *event* to the observer; observer errors are swallowed."""
+        if self._observer is None:
+            return
+        try:
+            self._observer(event, data)
+        except Exception:  # noqa: BLE001 — observability must not fail the pool
+            pass
 
     def _resolve(self, batch: list[_Request]) -> None:
         """Classify one coalesced batch and fulfil its futures."""
@@ -637,6 +657,14 @@ class RecognitionService:
                     conn.send(("batch", batch_id, series))
                 except (BrokenPipeError, OSError) as exc:
                     raise self._worker_death(index) from exc
+            self._notify(
+                "shard_dispatch",
+                {
+                    "batch_id": batch_id,
+                    "frames": len(series),
+                    "shards": len(self._connections),
+                },
+            )
             shard_scored = []
             for index, conn in enumerate(self._connections):
                 try:

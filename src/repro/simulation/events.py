@@ -179,6 +179,15 @@ class EventLog:
         """Return all events with the given *kind*."""
         return [e for e in self._events if e.kind == kind]
 
+    def since(self, index: int) -> list[SimEvent]:
+        """Return events appended at or after position *index*.
+
+        The incremental read the flight recorder uses: combined with
+        ``len(log)`` as the next offset, a tap drains exactly the
+        events each tick appended, without copying the whole log.
+        """
+        return self._events[index:]
+
     def from_source(self, source: str) -> list[SimEvent]:
         """Return all events emitted by *source*."""
         return [e for e in self._events if e.source == source]
