@@ -62,9 +62,12 @@ bench-throughput:
 bench-dynamic:
 	$(PYTHON) benchmarks/bench_dynamic_batch.py
 
-# Regenerate BENCH_fleet.json (gate: batched fleet >= 3x the sequential
-# per-mission/per-frame loop on 16 missions, with outcome parity and
-# Oracle-parity on clean scenarios; see docs/BENCHMARKS.md).
+# Regenerate BENCH_fleet.json — covers BOTH fleet executors (gates:
+# batched sync fleet >= 3x the sequential per-mission/per-frame loop on
+# 16 missions with outcome parity and Oracle-parity on clean scenarios;
+# pipelined executor >= 1.5x over sync on multi-core hosts, with the
+# relaxed-contract invariants — verdict/negotiation/escalation parity —
+# unconditional; see docs/BENCHMARKS.md).
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet.py
 

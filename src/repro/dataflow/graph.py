@@ -194,15 +194,34 @@ class Graph:
                 raise GraphError(
                     f"input port {sink.name}.{dst_port} is already connected"
                 )
-        channel = Channel(
+        channel = self._make_channel(
             name=f"{source.name}.{src_port}->{sink.name}.{dst_port}",
             capacity=capacity,
             policy=policy,
             dtype=in_port.dtype,
+            src=source,
+            dst=sink,
         )
         self._edges.append(_Edge(source, src_port, sink, dst_port, channel))
         self._order = None
         return channel
+
+    def _make_channel(
+        self,
+        name: str,
+        capacity: int | None,
+        policy: ChannelPolicy,
+        dtype: type,
+        src: Node,
+        dst: Node,
+    ) -> Channel:
+        """Transport-selection hook: build the channel backing one edge.
+
+        The base executor always uses the in-thread :class:`Channel`;
+        :class:`~repro.dataflow.pipelined.PipelinedGraph` overrides this
+        to pick a :class:`~repro.dataflow.transport.ThreadChannel` for
+        edges touching a thread-placed node."""
+        return Channel(name=name, capacity=capacity, policy=policy, dtype=dtype)
 
     def _resolve(self, node: Node | str) -> Node:
         if isinstance(node, str):
@@ -286,42 +305,59 @@ class Graph:
             raise GraphError(f"graph {self.name!r} is closed")
         moved = 0
         for node in self._topo_order():
-            stalled = False
-            for edge in self._edges:
-                if edge.src is node and not edge.flush():
-                    stalled = True
-            if stalled:
-                node.metrics.stalled_ticks += 1
-                continue
-            inputs = {port.name: [] for port in node.inputs}
-            for edge in self._edges:
-                if edge.dst is node:
-                    inputs[edge.dst_port].extend(edge.channel.drain())
-            items_in = sum(len(items) for items in inputs.values())
-            if not node.is_source and items_in == 0:
-                continue
-            try:
-                outputs, elapsed = timed_call(lambda: node.process(inputs))
-            except Exception as exc:
-                failure = NodeFailure(node.name, self._ticks, exc)
-                self._failed = failure
-                self.close()
-                raise failure from exc
-            outputs = outputs or {}
-            items_out = 0
-            for port_name, items in outputs.items():
-                node.output_port(port_name)  # validates the name
-                items = list(items)
-                items_out += len(items)
-                for edge in self._edges:
-                    if edge.src is node and edge.src_port == port_name:
-                        edge.emit(items)
-            node.metrics.record(items_in, items_out, elapsed)
-            if self._tap is not None:
-                self._tap(self._ticks, node, inputs, outputs, items_in, items_out)
-            moved += items_in
+            moved += self._sweep_node(node)
         self._ticks += 1
         return moved
+
+    def _sweep_node(self, node: Node) -> int:
+        """One node's share of a scheduler sweep: flush refused output,
+        drain inputs, process, emit.  Returns the items consumed (0 for
+        a stalled or idle node); a node exception closes the graph and
+        re-raises as :class:`NodeFailure`.  Shared with the pipelined
+        executor, which sweeps only its inline nodes this way."""
+        stalled = False
+        for edge in self._edges:
+            if edge.src is node and not edge.flush():
+                stalled = True
+        if stalled:
+            node.metrics.record_stall()
+            return 0
+        inputs = {port.name: [] for port in node.inputs}
+        for edge in self._edges:
+            if edge.dst is node:
+                inputs[edge.dst_port].extend(edge.channel.drain())
+        items_in = sum(len(items) for items in inputs.values())
+        if not node.is_source and items_in == 0:
+            return 0
+        try:
+            outputs, elapsed = timed_call(lambda: node.process(inputs))
+        except Exception as exc:
+            failure = self._to_failure(node, exc)
+            self._failed = failure
+            self.close()
+            raise failure from exc
+        outputs = outputs or {}
+        items_out = 0
+        for port_name, items in outputs.items():
+            node.output_port(port_name)  # validates the name
+            items = list(items)
+            items_out += len(items)
+            for edge in self._edges:
+                if edge.src is node and edge.src_port == port_name:
+                    edge.emit(items)
+        node.metrics.record(items_in, items_out, elapsed)
+        if self._tap is not None:
+            self._tap(self._ticks, node, inputs, outputs, items_in, items_out)
+        return items_in
+
+    def _to_failure(self, node: Node, exc: BaseException) -> NodeFailure:
+        """Map a node exception onto the :class:`NodeFailure` to raise.
+
+        Hook for the pipelined executor: when an inline node fails
+        *because* a worker thread already failed (e.g. it was waiting on
+        results a dead worker will never produce), the worker's failure
+        — naming the actual culprit node — takes precedence."""
+        return NodeFailure(node.name, self._ticks, exc)
 
     def drain(self, max_ticks: int = 1000) -> int:
         """Tick until quiescent (no items moved); returns ticks used.

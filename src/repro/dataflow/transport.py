@@ -1,0 +1,170 @@
+"""Thread-backed channel transport for off-scheduler node placements.
+
+:class:`ThreadChannel` extends :class:`~repro.dataflow.channel.Channel`
+with the blocking hand-off a worker-thread placement needs: a producer
+can *wait* for space (:meth:`ThreadChannel.put_wait` — backpressure as
+real blocking rather than the synchronous executor's stall-and-retry),
+a consumer can *wait* for data (:meth:`ThreadChannel.get_wait`), and
+:meth:`ThreadChannel.close` wakes every waiter so a shutting-down graph
+can never deadlock a thread blocked on a full or empty channel.
+
+Semantics carry over from the base channel unchanged:
+
+* capacity/policy behave identically — a full ``DROP`` channel sheds
+  immediately (a ``DROP`` producer never blocks), a full ``BLOCK``
+  channel makes :meth:`put_wait` wait for space;
+* ``capacity=0`` stays the degenerate always-full channel: a ``BLOCK``
+  producer blocks until timeout or close, a ``DROP`` producer sheds
+  every item (each drop counted exactly once);
+* every counter mutation and snapshot happens under the channel lock
+  inherited from the base class, so concurrent producers/consumers can
+  never double-count a drop or tear a ``flow`` read.
+
+The synchronous non-blocking API (``offer``/``put``/``get``/``drain``)
+keeps working on a :class:`ThreadChannel` — the pipelined executor uses
+it from the scheduler thread — except that a *closed* channel refuses
+new items loudly (:class:`ChannelClosedError`) while still letting the
+consumer drain what is buffered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.dataflow.channel import Channel, ChannelPolicy
+
+__all__ = [
+    "EMPTY",
+    "ChannelClosedError",
+    "ThreadChannel",
+]
+
+
+class ChannelClosedError(RuntimeError):
+    """An operation on a closed :class:`ThreadChannel` that can never
+    complete: putting a new item, or waiting on an empty channel."""
+
+
+class _Empty:
+    """Sentinel type for :data:`EMPTY` (its own class for a clean repr)."""
+
+    def __repr__(self) -> str:  # pragma: no cover — diagnostic only
+        return "<transport.EMPTY>"
+
+
+#: Returned by :meth:`ThreadChannel.get_wait` on timeout — a sentinel
+#: rather than ``None`` so channels can legitimately carry ``None``.
+EMPTY = _Empty()
+
+
+class ThreadChannel(Channel):
+    """A :class:`Channel` safe to share between a producer thread and a
+    consumer thread, with blocking put/get and wake-on-close.
+
+    Accepts the same parameters as :class:`Channel`; all base-class
+    flow-control semantics (capacity, ``BLOCK``/``DROP`` policy, typed
+    items, counters) are preserved.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._transport_closed = False
+
+    # -- transport hooks ---------------------------------------------------------------
+
+    def _notify_data(self) -> None:
+        self._not_empty.notify()
+
+    def _notify_space(self) -> None:
+        # drain()/clear() free many slots at once — wake every producer.
+        self._not_full.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        with self._lock:
+            return self._transport_closed
+
+    def close(self) -> None:
+        """Mark the channel closed and wake every blocked thread.
+
+        Idempotent.  After close, producers fail loudly
+        (:class:`ChannelClosedError`), while consumers may still drain
+        whatever is buffered — :meth:`get_wait` raises only once the
+        channel is *both* closed and empty.
+        """
+        with self._lock:
+            if self._transport_closed:
+                return
+            self._transport_closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- producer side -----------------------------------------------------------------
+
+    def offer(self, item: Any) -> bool:
+        """As :meth:`Channel.offer`, but raises
+        :class:`ChannelClosedError` on a closed channel."""
+        self._check_type(item)
+        with self._lock:
+            if self._transport_closed:
+                raise ChannelClosedError(f"channel {self.name!r} is closed")
+            return self._offer_locked(item)
+
+    def put_wait(self, item: Any, timeout_s: float | None = None) -> bool:
+        """Enqueue *item*, blocking while a ``BLOCK`` channel is full.
+
+        Returns ``True`` when the item was consumed (buffered, or shed
+        by a full ``DROP`` channel — a ``DROP`` producer never blocks).
+        Returns ``False`` when *timeout_s* elapsed with the channel
+        still full (counted as one refusal).  Raises
+        :class:`ChannelClosedError` when the channel is closed before
+        the item is accepted — including a close() arriving *while*
+        blocked, which is what makes graph shutdown deadlock-free.
+        """
+        self._check_type(item)
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._not_full:
+            while True:
+                if self._transport_closed:
+                    raise ChannelClosedError(f"channel {self.name!r} is closed")
+                if not self._full_locked() or self.policy is ChannelPolicy.DROP:
+                    return self._offer_locked(item)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._refusals += 1
+                        return False
+                    self._not_full.wait(remaining)
+                else:
+                    self._not_full.wait()
+
+    # -- consumer side -----------------------------------------------------------------
+
+    def get_wait(self, timeout_s: float | None = None) -> Any:
+        """Dequeue the oldest item, blocking while the channel is empty.
+
+        Returns :data:`EMPTY` when *timeout_s* elapsed with nothing
+        buffered.  Raises :class:`ChannelClosedError` once the channel
+        is closed *and* empty (buffered items are still handed out
+        after close, so nothing in flight is lost)."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._not_empty:
+            while True:
+                if self._items:
+                    return self._get_locked()
+                if self._transport_closed:
+                    raise ChannelClosedError(f"channel {self.name!r} is closed")
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return EMPTY
+                    self._not_empty.wait(remaining)
+                else:
+                    self._not_empty.wait()

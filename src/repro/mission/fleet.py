@@ -40,6 +40,7 @@ varies layout, traps and personas.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
@@ -47,34 +48,29 @@ from repro.dataflow.graph import Graph, GraphStats
 from repro.drone.agent import DroneAgent
 from repro.gateway.client import GatewayClassifier
 from repro.gateway.server import GatewayStats, RecognitionGateway
-from repro.geometry.vec import Vec2
 from repro.mission.executor import MissionExecutor, MissionReport
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
 from repro.mission.pipeline import build_fleet_graph
-from repro.protocol.negotiation import NegotiationConfig
+from repro.mission.spec import DEFAULT_DRONE_HOME, FleetSpec
 from repro.protocol.perception import OraclePerception, Perception
 from repro.protocol.recognizer import PerceptionStats, RecognizerPerception
 from repro.recognition.budget import BudgetReport
 from repro.recognition.classifier import InProcessClassifier
 from repro.recognition.pipeline import SaxSignRecognizer
 from repro.service import RecognitionService, ServiceClassifier, ServiceStats
-from repro.simulation.scenarios import (
-    DEFAULT_LIGHTINGS,
-    DEFAULT_WINDS,
-    Lighting,
-    WindCondition,
-)
+from repro.simulation.scenarios import Lighting, WindCondition
 
 __all__ = [
+    "DEFAULT_DRONE_HOME",
     "FleetMission",
     "FleetReport",
     "FleetScheduler",
+    "FleetSpec",
     "build_fleet",
     "mission_transcript",
 ]
 
 DEFAULT_FLEET_TIMEOUT_S = 1800.0
-DEFAULT_DRONE_HOME = Vec2(-6.0, -4.0)
 
 
 @dataclass
@@ -173,6 +169,13 @@ class FleetScheduler:
         recognition pass (set ``False`` to measure the unbatched
         scheduler — observations then resolve synchronously inside the
         ``mission`` stage).
+    executor:
+        ``"sync"`` (default) drives the linear tick-synchronous graph —
+        the byte-identical-transcript schedule.  ``"pipelined"`` drives
+        the forked :class:`~repro.dataflow.pipelined.PipelinedGraph`
+        whose render/preprocess/match stages run on worker threads
+        under the relaxed contract; *pipeline_lag* is its
+        deferred-observation depth in ticks.
     service:
         A :class:`~repro.service.RecognitionService` whose lifecycle
         this scheduler *owns* — started by :func:`build_fleet` in the
@@ -209,6 +212,8 @@ class FleetScheduler:
         gateway: RecognitionGateway | None = None,
         owned: Sequence = (),
         recorder=None,
+        executor: str = "sync",
+        pipeline_lag: int = 3,
     ) -> None:
         if not missions:
             raise ValueError("a fleet needs at least one mission")
@@ -218,8 +223,16 @@ class FleetScheduler:
         steps = {m.world.clock.time_step_s for m in missions}
         if len(steps) != 1:
             raise ValueError(f"fleet worlds must share one time step, got {steps}")
+        if recorder is not None and executor == "pipelined":
+            raise ValueError(
+                "flight recording requires the sync executor: the pipelined "
+                "executor's worker-stage telemetry is concurrent, so its "
+                "tick attribution is timing-dependent and a recording would "
+                "not replay byte-identically"
+            )
         self.missions = list(missions)
         self.batch_perception = batch_perception
+        self.executor = executor
         self.service = service
         self.gateway = gateway
         self.owned = tuple(owned)
@@ -235,6 +248,8 @@ class FleetScheduler:
             self.missions,
             batch_perception=batch_perception,
             tap=self._tap.graph_tap if self._tap is not None else None,
+            executor=executor,
+            pipeline_lag=pipeline_lag,
         )
         self._ticks = 0
         self._started = False
@@ -414,78 +429,103 @@ class FleetScheduler:
         return report
 
 
-def build_fleet(
-    count: int,
-    base_seed: int = 0,
-    config: OrchardConfig | None = None,
-    perception: str | Perception = "recognizer",
-    winds: Sequence[WindCondition] = DEFAULT_WINDS,
-    lightings: Sequence[Lighting] = DEFAULT_LIGHTINGS,
-    negotiation_config: NegotiationConfig | None = None,
-    batch_perception: bool = True,
-    per_frame: bool = False,
-    drone_home: Vec2 = DEFAULT_DRONE_HOME,
-    workers: int = 0,
-    backend: str = "auto",
-    recorder=None,
-) -> FleetScheduler:
-    """Build a ready-to-run fleet of *count* distinct missions.
+#: Legacy keyword names accepted by the :func:`build_fleet` shim, in
+#: the order of the pre-spec signature.  ``negotiation_config`` maps to
+#: :attr:`FleetSpec.negotiation`.
+_LEGACY_FLEET_KWARGS = (
+    "base_seed",
+    "config",
+    "perception",
+    "winds",
+    "lightings",
+    "negotiation_config",
+    "batch_perception",
+    "per_frame",
+    "drone_home",
+    "workers",
+    "backend",
+    "executor",
+    "pipeline_lag",
+    "recorder",
+)
+
+
+def _legacy_spec(count, kwargs, builder: str, allowed, renames) -> FleetSpec:
+    """Build a :class:`FleetSpec` from a legacy keyword call, warning.
+
+    *renames* maps legacy keyword names onto spec field names (e.g.
+    ``negotiation_config`` → ``negotiation``).  Unknown keywords raise
+    ``TypeError`` exactly like the old signatures would.
+    """
+    if count is None and "count" in kwargs:
+        count = kwargs.pop("count")
+    if count is None:
+        raise TypeError(f"{builder}() missing required argument: 'count'")
+    unknown = set(kwargs) - set(allowed)
+    if unknown:
+        raise TypeError(
+            f"{builder}() got unexpected keyword argument(s) {sorted(unknown)}"
+        )
+    warnings.warn(
+        f"{builder}(count, ...) legacy keyword arguments are deprecated; "
+        f"pass a single repro.mission.FleetSpec instead "
+        f"(e.g. {builder}(FleetSpec(count={count!r}, ...)))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    fields = {renames.get(key, key): value for key, value in kwargs.items()}
+    return FleetSpec(count=count, **fields)
+
+
+def build_fleet(spec: "FleetSpec | int | None" = None, /, **kwargs) -> FleetScheduler:
+    """Build a ready-to-run fleet of trap-reading missions.
+
+    The one supported calling convention is a single
+    :class:`~repro.mission.spec.FleetSpec`::
+
+        build_fleet(FleetSpec(count=16, base_seed=100))
+        build_fleet(FleetSpec(count=16, executor="pipelined"))
 
     Mission ``i`` draws orchard seed ``base_seed + i`` (distinct layout,
     traps and personas), wind ``winds[i % len(winds)]`` (the orchard's
     stochastic wind model is rebuilt at that strength) and lighting
     ``lightings[i % len(lightings)]`` (the photometric settings its
-    perception renders under).
+    perception renders under); see :class:`~repro.mission.spec.FleetSpec`
+    for every knob (perception kind, classifier backend, executor,
+    recorder...).  Mission outcomes are identical across classifier
+    backends by the sharding- and gateway-parity contracts, and across
+    executors by the sync/relaxed contract pair documented in
+    ``docs/ARCHITECTURE.md``.
 
-    Parameters
-    ----------
-    perception:
-        ``"recognizer"`` (default) builds one shared
-        :class:`~repro.protocol.recognizer.RecognizerPerception` core
-        with a per-mission lighting view; ``"oracle"`` uses the
-        calibrated envelope oracle; a
-        :class:`~repro.protocol.perception.Perception` instance is used
-        directly for every mission.
-    per_frame:
-        With ``perception="recognizer"``: disable memoisation and
-        batching — the naive per-frame reference configuration the
-        fleet benchmark measures against.
-    workers:
-        Shard worker processes of the
-        :class:`~repro.service.RecognitionService` behind the
-        ``"service"`` and ``"gateway"`` backends (``workers=0`` under
-        ``"gateway"`` serves from an in-process replica instead).
-    backend:
-        Where the shared core's ``sax_match`` stage runs — the
-        classifier-client API makes this a deployment choice:
-
-        * ``"auto"`` (default): ``"service"`` when ``workers > 0``,
-          else ``"inprocess"``.
-        * ``"inprocess"``: the database's own batched engine.
-        * ``"service"``: a started shard-pool service wrapped in a
-          :class:`~repro.service.ServiceClassifier`; the scheduler
-          owns the service.
-        * ``"gateway"``: a running in-process
-          :class:`~repro.gateway.server.RecognitionGateway` over one
-          replica (service-backed when ``workers > 0``), reached
-          through a :class:`~repro.gateway.client.GatewayClassifier`
-          connection; the scheduler owns client, gateway and backend,
-          and :attr:`FleetReport.gateway_stats` reports the gateway's
-          counters.
-
-        Mission outcomes are identical across backends by the
-        sharding- and gateway-parity contracts.
-    recorder:
-        Optional :class:`~repro.recorder.FlightRecorder` handed to the
-        scheduler; service and gateway backends additionally report
-        their batch flushes / admissions to it as ops events.
+    The legacy keyword form (``build_fleet(16, base_seed=100, ...)``)
+    is kept as a :class:`DeprecationWarning` shim that builds the
+    equivalent spec — it produces an identical fleet (the contract test
+    asserts this) and will be removed in a future release.
     """
-    if count < 1:
-        raise ValueError("fleet needs at least one mission")
-    if workers < 0:
-        raise ValueError("workers must be non-negative")
-    if backend not in ("auto", "inprocess", "service", "gateway"):
-        raise ValueError(f"unknown backend: {backend!r}")
+    if isinstance(spec, FleetSpec):
+        if kwargs:
+            raise TypeError(
+                "pass either a FleetSpec or legacy keyword arguments, not both"
+            )
+        return _build_fleet_from_spec(spec)
+    return _build_fleet_from_spec(
+        _legacy_spec(
+            spec,
+            kwargs,
+            builder="build_fleet",
+            allowed=_LEGACY_FLEET_KWARGS,
+            renames={"negotiation_config": "negotiation"},
+        )
+    )
+
+
+def _build_fleet_from_spec(spec: FleetSpec) -> FleetScheduler:
+    """Construct the trap-reading fleet described by *spec*."""
+    perception = spec.perception
+    workers = spec.workers
+    backend = spec.backend
+    recorder = spec.recorder
+    per_frame = spec.per_frame
     if backend == "auto":
         backend = "service" if workers else "inprocess"
     if backend == "service" and not workers:
@@ -494,7 +534,7 @@ def build_fleet(
         raise ValueError("backend='inprocess' cannot use shard workers")
     if backend != "inprocess" and perception != "recognizer":
         raise ValueError(f"backend={backend!r} requires the recognizer perception")
-    cfg = config if config is not None else OrchardConfig()
+    cfg = spec.config if spec.config is not None else OrchardConfig()
     service_obs = gateway_obs = None
     if recorder is not None:
         # Imported lazily: repro.recorder.replay imports this module.
@@ -551,17 +591,19 @@ def build_fleet(
                 per_frame=per_frame, memoize=not per_frame
             )
     try:
+        winds = spec.winds
+        lightings = spec.lightings
         missions: list[FleetMission] = []
-        for index in range(count):
+        for index in range(spec.count):
             wind = winds[index % len(winds)] if winds else None
             lighting = lightings[index % len(lightings)] if lightings else None
             mission_cfg = replace(
                 cfg,
-                seed=base_seed + index,
+                seed=spec.base_seed + index,
                 wind_mean_mps=wind.speed_mps if wind is not None else cfg.wind_mean_mps,
             )
             orchard = generate_orchard(mission_cfg)
-            drone = DroneAgent("drone", position=drone_home)
+            drone = DroneAgent("drone", position=spec.drone_home)
             orchard.world.add_entity(drone)
             mission_perception: Perception
             if shared is not None:
@@ -583,7 +625,7 @@ def build_fleet(
                 orchard,
                 drone,
                 perception=mission_perception,
-                negotiation_config=negotiation_config,
+                negotiation_config=spec.negotiation,
             )
             missions.append(
                 FleetMission(
@@ -598,11 +640,13 @@ def build_fleet(
             )
         return FleetScheduler(
             missions,
-            batch_perception=batch_perception,
+            batch_perception=spec.batch_perception,
             service=service,
             gateway=gateway,
             owned=owned,
             recorder=recorder,
+            executor=spec.executor,
+            pipeline_lag=spec.pipeline_lag,
         )
     except BaseException:
         # Backend resources (worker processes, the gateway thread) were

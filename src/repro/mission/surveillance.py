@@ -39,11 +39,12 @@ from repro.geometry.vec import Vec2, Vec3
 from repro.human.agent import HumanAgent
 from repro.human.persona import VISITOR
 from repro.mission.fleet import (
-    DEFAULT_DRONE_HOME,
     FleetMission,
     FleetScheduler,
+    _legacy_spec,
 )
 from repro.mission.orchard import Orchard, OrchardConfig, generate_orchard
+from repro.mission.spec import FleetSpec
 from repro.protocol.negotiation import (
     NegotiationConfig,
     NegotiationController,
@@ -55,12 +56,6 @@ from repro.protocol.safety import SafetyLimits, SafetyMonitor
 from repro.recognition.pipeline import SaxSignRecognizer
 from repro.service import RecognitionService, ServiceClassifier
 from repro.simulation.events import EventEmitter, SimEvent
-from repro.simulation.scenarios import (
-    DEFAULT_LIGHTINGS,
-    DEFAULT_WINDS,
-    Lighting,
-    WindCondition,
-)
 
 __all__ = [
     "SurveillancePhase",
@@ -424,49 +419,90 @@ def _patrol_rectangle(cfg: OrchardConfig, margin_m: float = 2.0) -> tuple[Vec2, 
     )
 
 
+#: Legacy keyword names accepted by the :func:`build_surveillance_fleet`
+#: shim, in the order of the pre-spec signature.  ``challenge_config``
+#: maps to :attr:`~repro.mission.spec.FleetSpec.negotiation`.
+_LEGACY_SURVEILLANCE_KWARGS = (
+    "base_seed",
+    "config",
+    "intruders",
+    "burst_start_s",
+    "burst_spacing_s",
+    "laps",
+    "winds",
+    "lightings",
+    "challenge_config",
+    "batch_perception",
+    "workers",
+    "executor",
+    "pipeline_lag",
+    "recorder",
+)
+
+
 def build_surveillance_fleet(
-    count: int,
-    base_seed: int = 0,
-    config: OrchardConfig | None = None,
-    intruders: int = 2,
-    burst_start_s: float = 4.0,
-    burst_spacing_s: float = 1.5,
-    laps: int = 1,
-    winds: Sequence[WindCondition] = DEFAULT_WINDS,
-    lightings: Sequence[Lighting] = DEFAULT_LIGHTINGS,
-    challenge_config: NegotiationConfig | None = None,
-    batch_perception: bool = True,
-    workers: int = 0,
-    recorder=None,
+    spec: "FleetSpec | int | None" = None, /, **kwargs
 ) -> FleetScheduler:
-    """Build a ready-to-run fleet of *count* guard missions.
+    """Build a ready-to-run fleet of guard missions.
+
+    The one supported calling convention is a single
+    :class:`~repro.mission.spec.FleetSpec`::
+
+        build_surveillance_fleet(FleetSpec(count=8, intruders=3))
 
     Mirrors :func:`~repro.mission.fleet.build_fleet`: mission ``i``
     draws orchard seed ``base_seed + i``, wind ``winds[i % len]`` and a
     lighting view of one shared
     :class:`~repro.protocol.recognizer.RecognizerPerception` core (with
     an optional shard-worker service when ``workers > 0``).  On top,
-    each mission gets *intruders* unauthorized humans staged outside
-    the patrol rectangle; intruder *j* starts walking toward the
-    orchard interior at ``burst_start_s + j * burst_spacing_s`` (via
-    the world's event queue) — the whole burst lands within a few
-    seconds, the bursty workload the benchmark measures.
+    each mission gets :attr:`~repro.mission.spec.FleetSpec.intruders`
+    unauthorized humans staged outside the patrol rectangle; intruder
+    *j* starts walking toward the orchard interior at
+    ``burst_start_s + j * burst_spacing_s`` (via the world's event
+    queue) — the whole burst lands within a few seconds, the bursty
+    workload the benchmark measures.  The spec's ``negotiation`` field
+    carries what this builder's legacy signature called
+    ``challenge_config``; its trap-fleet-only knobs
+    (``perception``/``per_frame``/``backend``) are ignored here.
 
-    Everything derives from ``base_seed``, so the same arguments replay
-    the same patrols, challenges and escalations exactly.  An optional
-    *recorder* (:class:`~repro.recorder.FlightRecorder`) is attached to
-    the scheduler exactly as in :func:`~repro.mission.fleet.build_fleet`;
-    escalations are captured straight off each guard's event bus.
+    Everything derives from ``base_seed``, so the same spec replays the
+    same patrols, challenges and escalations exactly.  An optional
+    ``recorder`` (:class:`~repro.recorder.FlightRecorder`) is attached
+    to the scheduler exactly as in
+    :func:`~repro.mission.fleet.build_fleet`; escalations are captured
+    straight off each guard's event bus.
+
+    The legacy keyword form (``build_surveillance_fleet(8, laps=2)``)
+    is kept as a :class:`DeprecationWarning` shim that builds the
+    equivalent spec — it produces an identical fleet and will be
+    removed in a future release.
     """
-    if count < 1:
-        raise ValueError("fleet needs at least one mission")
-    if intruders < 0:
-        raise ValueError("intruder count must be non-negative")
-    if workers < 0:
-        raise ValueError("workers must be non-negative")
+    if isinstance(spec, FleetSpec):
+        if kwargs:
+            raise TypeError(
+                "pass either a FleetSpec or legacy keyword arguments, not both"
+            )
+        return _build_surveillance_fleet_from_spec(spec)
+    return _build_surveillance_fleet_from_spec(
+        _legacy_spec(
+            spec,
+            kwargs,
+            builder="build_surveillance_fleet",
+            allowed=_LEGACY_SURVEILLANCE_KWARGS,
+            renames={"challenge_config": "negotiation"},
+        )
+    )
+
+
+def _build_surveillance_fleet_from_spec(spec: FleetSpec) -> FleetScheduler:
+    """Construct the guard fleet described by *spec*."""
+    base_seed = spec.base_seed
+    intruders = spec.intruders
+    workers = spec.workers
+    recorder = spec.recorder
     cfg = (
-        config
-        if config is not None
+        spec.config
+        if spec.config is not None
         else OrchardConfig(
             rows=2,
             trees_per_row=4,
@@ -498,8 +534,10 @@ def build_surveillance_fleet(
         shared = RecognizerPerception()
     try:
         waypoints = _patrol_rectangle(cfg)
+        winds = spec.winds
+        lightings = spec.lightings
         missions: list[FleetMission] = []
-        for index in range(count):
+        for index in range(spec.count):
             wind = winds[index % len(winds)] if winds else None
             lighting = lightings[index % len(lightings)] if lightings else None
             mission_cfg = replace(
@@ -509,7 +547,7 @@ def build_surveillance_fleet(
             )
             orchard = generate_orchard(mission_cfg)
             world = orchard.world
-            drone = DroneAgent("drone", position=DEFAULT_DRONE_HOME)
+            drone = DroneAgent("drone", position=spec.drone_home)
             world.add_entity(drone)
             # Stage the intruder burst: unauthorized visitors outside
             # the patrol rectangle, released onto in-orchard targets in
@@ -528,7 +566,7 @@ def build_surveillance_fleet(
                 )
                 world.add_entity(intruder)
                 target = Vec2(centre.x + 1.5 * j, centre.y)
-                release_s = burst_start_s + j * burst_spacing_s
+                release_s = spec.burst_start_s + j * spec.burst_spacing_s
 
                 def _release(agent=intruder, destination=target) -> None:
                     agent.walk_to(destination)
@@ -543,10 +581,10 @@ def build_surveillance_fleet(
             executor = SurveillanceExecutor(
                 orchard,
                 drone,
-                config=SurveillanceConfig(waypoints=waypoints, laps=laps),
+                config=SurveillanceConfig(waypoints=waypoints, laps=spec.laps),
                 perception=mission_perception,
                 authorized={h.name for h in orchard.humans},
-                challenge_config=challenge_config,
+                challenge_config=spec.negotiation,
             )
             missions.append(
                 FleetMission(
@@ -561,9 +599,11 @@ def build_surveillance_fleet(
             )
         return FleetScheduler(
             missions,
-            batch_perception=batch_perception,
+            batch_perception=spec.batch_perception,
             service=service,
             recorder=recorder,
+            executor=spec.executor,
+            pipeline_lag=spec.pipeline_lag,
         )
     except BaseException:
         if service is not None:

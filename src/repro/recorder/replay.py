@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-from repro.mission.fleet import FleetReport, build_fleet
+from repro.mission.fleet import FleetReport, FleetSpec, build_fleet
 from repro.mission.orchard import OrchardConfig
 from repro.mission.surveillance import build_surveillance_fleet
 from repro.protocol.negotiation import NegotiationConfig
@@ -54,6 +54,8 @@ _ALLOWED_KEYS = {
             "per_frame",
             "workers",
             "backend",
+            "executor",
+            "pipeline_lag",
         }
     ),
     "surveillance": frozenset(
@@ -70,6 +72,8 @@ _ALLOWED_KEYS = {
             "challenge_config",
             "batch_perception",
             "workers",
+            "executor",
+            "pipeline_lag",
         }
     ),
 }
@@ -173,10 +177,18 @@ def run_recipe(
     if "count" not in kwargs:
         raise ValueError("recipe kwargs must include 'count'")
     recorder.write_header(recipe)
+    # Recipe keys keep the legacy builder names (committed recordings
+    # replay unchanged); map the negotiation aliases onto the unified
+    # FleetSpec field and build through the spec API directly.
+    fields = {
+        ("negotiation" if key in ("negotiation_config", "challenge_config") else key): value
+        for key, value in kwargs.items()
+    }
+    spec = FleetSpec(recorder=recorder, **fields)
     if builder == "fleet":
-        fleet = build_fleet(recorder=recorder, **kwargs)
+        fleet = build_fleet(spec)
     else:
-        fleet = build_surveillance_fleet(recorder=recorder, **kwargs)
+        fleet = build_surveillance_fleet(spec)
     if timeout_s is not None:
         return fleet.run(timeout_s=timeout_s)
     return fleet.run()

@@ -1,0 +1,231 @@
+"""ThreadChannel transport: blocking hand-off, close semantics, races."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dataflow import (
+    EMPTY,
+    ChannelClosedError,
+    ChannelPolicy,
+    ThreadChannel,
+)
+
+
+class TestBlockingHandoff:
+    def test_put_then_get_roundtrip(self):
+        channel = ThreadChannel("c", capacity=2)
+        assert channel.put_wait("a", timeout_s=1.0)
+        assert channel.get_wait(timeout_s=1.0) == "a"
+
+    def test_get_wait_blocks_until_producer_arrives(self):
+        channel = ThreadChannel("c", capacity=2)
+        got = []
+
+        def consume():
+            got.append(channel.get_wait(timeout_s=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.02)
+        channel.put_wait("late")
+        thread.join(timeout=5.0)
+        assert got == ["late"]
+
+    def test_put_wait_blocks_until_space_frees(self):
+        channel = ThreadChannel("c", capacity=1)
+        channel.put_wait("first")
+        done = threading.Event()
+
+        def produce():
+            channel.put_wait("second", timeout_s=5.0)
+            done.set()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        time.sleep(0.02)
+        assert not done.is_set()  # still blocked on the full channel
+        assert channel.get_wait() == "first"
+        thread.join(timeout=5.0)
+        assert done.is_set()
+        assert channel.get_wait() == "second"
+
+    def test_put_wait_timeout_counts_one_refusal(self):
+        channel = ThreadChannel("c", capacity=1)
+        channel.put_wait("only")
+        assert not channel.put_wait("refused", timeout_s=0.01)
+        assert channel.stats.refusals == 1
+
+    def test_get_wait_timeout_returns_empty_sentinel(self):
+        channel = ThreadChannel("c")
+        assert channel.get_wait(timeout_s=0.01) is EMPTY
+
+
+class TestZeroCapacityUnderThreads:
+    def test_block_producer_times_out_on_zero_capacity(self):
+        channel = ThreadChannel("c", capacity=0, policy=ChannelPolicy.BLOCK)
+        assert not channel.put_wait("never", timeout_s=0.01)
+        assert channel.stats.refusals == 1
+        assert channel.get_wait(timeout_s=0.01) is EMPTY
+
+    def test_drop_producer_never_blocks_on_zero_capacity(self):
+        channel = ThreadChannel("c", capacity=0, policy=ChannelPolicy.DROP)
+        started = time.monotonic()
+        for _ in range(100):
+            assert channel.put_wait("shed")  # consumed (by shedding)
+        assert time.monotonic() - started < 1.0
+        assert channel.stats.drops == 100
+
+    def test_blocked_zero_capacity_producer_wakes_on_close(self):
+        channel = ThreadChannel("c", capacity=0)
+        outcome = []
+
+        def produce():
+            try:
+                channel.put_wait("never")
+            except ChannelClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        time.sleep(0.02)
+        channel.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome == ["closed"]
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self):
+        channel = ThreadChannel("c")
+        channel.close()
+        channel.close()
+        assert channel.closed
+
+    def test_producer_blocked_on_full_channel_unblocks_on_close(self):
+        """The graph-shutdown deadlock case: a producer stuck in
+        put_wait on a full BLOCK channel must not survive close."""
+        channel = ThreadChannel("c", capacity=1)
+        channel.put_wait("fills it")
+        raised = threading.Event()
+
+        def produce():
+            try:
+                channel.put_wait("stuck")
+            except ChannelClosedError:
+                raised.set()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        time.sleep(0.02)
+        channel.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert raised.is_set()
+
+    def test_consumer_blocked_on_empty_channel_unblocks_on_close(self):
+        channel = ThreadChannel("c")
+        raised = threading.Event()
+
+        def consume():
+            try:
+                channel.get_wait()
+            except ChannelClosedError:
+                raised.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.02)
+        channel.close()
+        thread.join(timeout=5.0)
+        assert raised.is_set()
+
+    def test_buffered_items_survive_close(self):
+        channel = ThreadChannel("c", capacity=4)
+        channel.put_wait("a")
+        channel.put_wait("b")
+        channel.close()
+        assert channel.get_wait() == "a"
+        assert channel.get_wait() == "b"
+        with pytest.raises(ChannelClosedError):
+            channel.get_wait()
+
+    def test_offer_and_put_wait_raise_after_close(self):
+        channel = ThreadChannel("c")
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.offer("x")
+        with pytest.raises(ChannelClosedError):
+            channel.put_wait("x")
+
+
+class TestConcurrentCounters:
+    def test_drop_shedding_counted_exactly_once_under_contention(self):
+        """Many producers hammering a full DROP channel: every shed item
+        is counted exactly once (puts + drops == offered total)."""
+        channel = ThreadChannel("c", capacity=8, policy=ChannelPolicy.DROP)
+        per_producer = 200
+        producers = 4
+
+        def produce():
+            for index in range(per_producer):
+                channel.put_wait(index)
+
+        threads = [threading.Thread(target=produce) for _ in range(producers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        stats = channel.stats
+        assert stats.puts + stats.drops == per_producer * producers
+        assert stats.puts == stats.occupancy  # nothing consumed yet
+        assert stats.refusals == 0  # DROP never refuses
+
+    def test_flow_snapshot_consistent_under_producer_consumer_race(self):
+        channel = ThreadChannel("c", capacity=4)
+        total = 500
+        stop = threading.Event()
+
+        def produce():
+            for index in range(total):
+                channel.put_wait(index)
+            stop.set()
+
+        def consume():
+            taken = 0
+            while taken < total:
+                if channel.get_wait(timeout_s=1.0) is not EMPTY:
+                    taken += 1
+
+        producer = threading.Thread(target=produce)
+        consumer = threading.Thread(target=consume)
+        producer.start()
+        consumer.start()
+        while not stop.is_set():
+            puts, gets, drops, refusals = channel.flow
+            assert gets <= puts  # a torn read could violate this
+            assert drops == 0
+        producer.join(timeout=10.0)
+        consumer.join(timeout=10.0)
+        assert channel.flow[:2] == (total, total)
+
+    def test_fifo_order_preserved_across_threads(self):
+        channel = ThreadChannel("c", capacity=3)
+        received = []
+
+        def consume():
+            while True:
+                try:
+                    received.append(channel.get_wait())
+                except ChannelClosedError:
+                    return
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for index in range(100):
+            channel.put_wait(index)
+        time.sleep(0.05)
+        channel.close()
+        consumer.join(timeout=5.0)
+        assert received == list(range(100))
